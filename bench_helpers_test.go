@@ -1,0 +1,21 @@
+package spinstreams_test
+
+import (
+	"bytes"
+	"testing"
+
+	"spinstreams/internal/randtopo"
+	"spinstreams/internal/xmlio"
+)
+
+// roundTripXML serializes and re-parses a generated topology.
+func roundTripXML(b *testing.B, g *randtopo.Generated) {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := xmlio.Write(&buf, "bench", g.Topology); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := xmlio.Read(&buf); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (Section 5) plus the ablations called out in DESIGN.md and
+// micro-benchmarks of the core algorithms. Custom metrics report the
+// experiment's headline quantity (prediction error, throughput ratio) next
+// to the usual ns/op.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package spinstreams_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/experiments"
+	"spinstreams/internal/keypart"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/qsim"
+	"spinstreams/internal/randtopo"
+	"spinstreams/internal/stats"
+	"spinstreams/internal/window"
+)
+
+// benchSetup is a reduced testbed so each benchmark iteration stays fast;
+// cmd/ssbench runs the full 50-topology configuration.
+func benchSetup() experiments.Setup {
+	return experiments.Setup{
+		Seed:       42,
+		Topologies: 6,
+		Sim:        qsim.Config{Horizon: 10},
+	}
+}
+
+// BenchmarkFig7Accuracy regenerates Figure 7: predicted vs measured
+// topology throughput; reports the mean relative error.
+func BenchmarkFig7Accuracy(b *testing.B) {
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = res.ErrStat.Mean
+	}
+	b.ReportMetric(meanErr*100, "mean-err-%")
+}
+
+// BenchmarkFig8PerOperator regenerates Figure 8: per-operator
+// departure-rate errors.
+func BenchmarkFig8PerOperator(b *testing.B) {
+	var meanErr float64
+	var ops int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = res.ErrStat.Mean
+		ops = res.Operators
+	}
+	b.ReportMetric(meanErr*100, "mean-err-%")
+	b.ReportMetric(float64(ops), "operators")
+}
+
+// BenchmarkFig9Fission regenerates Figure 9: bottleneck elimination across
+// the testbed; reports the fraction of topologies reaching ideal
+// throughput.
+func BenchmarkFig9Fission(b *testing.B) {
+	var ideal, total int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchSetup())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ideal, total = res.Ideal, len(res.Rows)
+	}
+	b.ReportMetric(float64(ideal)/float64(total)*100, "ideal-%")
+}
+
+// BenchmarkFig10Bounds regenerates Figure 10: replica budgets.
+func BenchmarkFig10Bounds(b *testing.B) {
+	s := benchSetup()
+	s.Topologies = 25
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Fusion regenerates Table 1 (feasible fusion); reports the
+// predicted fused service time in ms (paper: 2.80).
+func BenchmarkTable1Fusion(b *testing.B) {
+	var fusedMs float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table(benchSetup(), core.PaperExampleTable1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fusedMs = res.FusedServiceMs
+	}
+	b.ReportMetric(fusedMs, "fused-T-ms")
+}
+
+// BenchmarkTable2Fusion regenerates Table 2 (fusion introduces a
+// bottleneck); reports the measured degradation in percent (paper: ~20%).
+func BenchmarkTable2Fusion(b *testing.B) {
+	var deg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table(benchSetup(), core.PaperExampleTable2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deg = 1 - res.MeasuredAfter/res.MeasuredBefore
+	}
+	b.ReportMetric(deg*100, "degradation-%")
+}
+
+// BenchmarkAblationRestartVsScale compares the paper's restart-based
+// Algorithm 1 against the single-pass scaling variant on the same graphs.
+func BenchmarkAblationRestartVsScale(b *testing.B) {
+	bed, err := randtopo.Testbed(randtopo.Config{Seed: 7}, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range bed {
+				if _, err := core.SteadyState(g.Topology); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("single-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range bed {
+				if _, err := core.SteadyStateFast(g.Topology); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFusionRateDP compares the paper-literal exponential
+// path enumeration against the linear DP for the fused service rate.
+func BenchmarkAblationFusionRateDP(b *testing.B) {
+	topo, sub := core.PaperExampleTopology(core.PaperExampleTable1)
+	front, err := core.ValidateSubgraph(topo, sub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.FusionServiceTimeByPaths(topo, sub, front)
+		}
+	})
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.FusionServiceTime(topo, sub, front); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKeyPartitioning compares greedy packing vs consistent
+// hashing on a skewed key distribution; reports each pmax.
+func BenchmarkAblationKeyPartitioning(b *testing.B) {
+	freq := stats.ZipfWeights(1000, 1.5)
+	b.Run("greedy", func(b *testing.B) {
+		var pmax float64
+		for i := 0; i < b.N; i++ {
+			asg, err := keypart.Greedy{}.Partition(freq, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pmax = asg.PMax
+		}
+		b.ReportMetric(pmax, "pmax")
+	})
+	b.Run("hash", func(b *testing.B) {
+		var pmax float64
+		for i := 0; i < b.N; i++ {
+			asg, err := keypart.ConsistentHash{Seed: 3}.Partition(freq, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pmax = asg.PMax
+		}
+		b.ReportMetric(pmax, "pmax")
+	})
+}
+
+// BenchmarkAblationBufferSize sweeps the mailbox capacity in the simulator
+// (the model is capacity-independent; throughput should be stable).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable2)
+	for _, capacity := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				res, err := qsim.SimulateTopology(topo, nil, qsim.Config{
+					Seed: uint64(i), Horizon: 10, BufferSize: capacity,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp = res.Throughput
+			}
+			b.ReportMetric(tp, "tuples/s")
+		})
+	}
+}
+
+// BenchmarkSteadyState measures Algorithm 1 on growing random graphs.
+func BenchmarkSteadyState(b *testing.B) {
+	for _, v := range []int{10, 20} {
+		g, err := randtopo.GenerateSized(randtopo.Config{Seed: 9}, v, v+v/5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("v%d", v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SteadyState(g.Topology); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEliminateBottlenecks measures Algorithm 2.
+func BenchmarkEliminateBottlenecks(b *testing.B) {
+	g, err := randtopo.GenerateSized(randtopo.Config{Seed: 11}, 20, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EliminateBottlenecks(g.Topology, core.FissionOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusionCandidates measures the automatic candidate search.
+func BenchmarkFusionCandidates(b *testing.B) {
+	g, err := randtopo.GenerateSized(randtopo.Config{Seed: 13}, 20, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FusionCandidates(g.Topology, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEvents measures raw simulator speed in events/s.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	var events uint64
+	var seconds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := qsim.SimulateTopology(topo, nil, qsim.Config{Seed: uint64(i), Horizon: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	seconds = b.Elapsed().Seconds()
+	if seconds > 0 {
+		b.ReportMetric(float64(events)/seconds, "events/s")
+	}
+}
+
+// BenchmarkOperators measures the per-item cost of representative catalog
+// operators (the profiling the paper's workflow depends on).
+func BenchmarkOperators(b *testing.B) {
+	specs := []operators.Spec{
+		{Impl: "identity"},
+		{Impl: "scale", Param: 2},
+		{Impl: "magnitude"},
+		{Impl: "threshold-filter", Param: 0.5},
+		{Impl: "wma", WindowLen: 1000, Slide: 10},
+		{Impl: "wquantile", WindowLen: 1000, Slide: 10, Param: 0.95},
+		{Impl: "skyline", WindowLen: 200, Slide: 10, K: 2},
+		{Impl: "topk", WindowLen: 1000, Slide: 10, K: 10},
+		{Impl: "bandjoin", WindowLen: 500, Param: 0.01},
+	}
+	for _, spec := range specs {
+		b.Run(spec.Impl, func(b *testing.B) {
+			op := operators.MustBuild(spec)
+			gen, err := operators.NewGenerator(operators.GeneratorConfig{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			emit := func(operators.Tuple) {}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op.Process(gen.Next(), emit)
+			}
+		})
+	}
+}
+
+// BenchmarkWindow measures the sliding-window substrate.
+func BenchmarkWindow(b *testing.B) {
+	w := window.MustCount[float64](1000, 10)
+	var snap []float64
+	for i := 0; i < b.N; i++ {
+		if w.Add(float64(i)) {
+			snap = w.Snapshot(snap[:0])
+		}
+	}
+	_ = snap
+}
+
+// BenchmarkXMLRoundTrip measures the topology formalism.
+func BenchmarkXMLRoundTrip(b *testing.B) {
+	g, err := randtopo.GenerateSized(randtopo.Config{Seed: 15}, 20, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		roundTripXML(b, g)
+	}
+}
+
+// BenchmarkSteadyStateCyclic measures the traffic-equation fixed point on
+// a feedback topology.
+func BenchmarkSteadyStateCyclic(b *testing.B) {
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 0.001})
+	work := topo.MustAddOperator(core.Operator{Name: "work", Kind: core.KindStateful, ServiceTime: 0.0005})
+	retry := topo.MustAddOperator(core.Operator{Name: "retry", Kind: core.KindStateful, ServiceTime: 0.0001})
+	sink := topo.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, work, 1)
+	topo.MustConnect(work, sink, 0.7)
+	topo.MustConnect(work, retry, 0.3)
+	topo.MustConnect(retry, work, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SteadyStateCyclic(topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSheddingModel measures the load-shedding steady state.
+func BenchmarkSheddingModel(b *testing.B) {
+	g, err := randtopo.GenerateSized(randtopo.Config{Seed: 21}, 20, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SteadyStateShedding(g.Topology); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateLatency measures the latency extension.
+func BenchmarkEstimateLatency(b *testing.B) {
+	g, err := randtopo.GenerateSized(randtopo.Config{Seed: 23}, 20, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.SteadyState(g.Topology)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EstimateLatency(g.Topology, a, core.MM1, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutoFuse measures the automatic fusion loop.
+func BenchmarkAutoFuse(b *testing.B) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AutoFuse(topo, core.AutoFuseOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,576 @@
+// Command spinstreams is the CLI front-end of the static optimization
+// tool: the workflow the paper drives through its GUI (Section 4.1),
+// exposed as subcommands over the XML topology formalism.
+//
+// Usage:
+//
+//	spinstreams analyze    -in topo.xml
+//	spinstreams optimize   -in topo.xml [-out opt.xml] [-max-replicas N]
+//	spinstreams candidates -in topo.xml
+//	spinstreams fuse       -in topo.xml -members op3,op4,op5 [-name F] [-out fused.xml]
+//	spinstreams generate   -in topo.xml -out main.go [-members ...]
+//	spinstreams run        -in topo.xml [-duration 5s] [-replicas auto]
+//	spinstreams simulate   -in topo.xml [-horizon 40]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"spinstreams/internal/codegen"
+	"spinstreams/internal/core"
+	"spinstreams/internal/dot"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/plan"
+	"spinstreams/internal/profiler"
+	"spinstreams/internal/qsim"
+	"spinstreams/internal/runtime"
+	"spinstreams/internal/xmlio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spinstreams:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "analyze":
+		return cmdAnalyze(args[1:])
+	case "optimize":
+		return cmdOptimize(args[1:])
+	case "candidates":
+		return cmdCandidates(args[1:])
+	case "fuse":
+		return cmdFuse(args[1:])
+	case "autofuse":
+		return cmdAutoFuse(args[1:])
+	case "dot":
+		return cmdDot(args[1:])
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `spinstreams — static optimization tool for stream processing topologies
+
+subcommands:
+  analyze     steady-state throughput prediction under backpressure
+  optimize    bottleneck elimination via operator fission
+  candidates  ranked operator-fusion suggestions
+  fuse        fuse a subgraph into a meta-operator and predict the outcome
+  autofuse    repeatedly apply safe fusions automatically
+  dot         render the topology (optionally annotated) as Graphviz DOT
+  generate    emit a runnable Go program for the topology
+  run         execute the topology on the goroutine runtime
+  simulate    run the discrete-event simulation
+  profile     measure the catalog operators (service time, selectivity)
+`)
+}
+
+func loadTopology(path string) (*core.Topology, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	return xmlio.ReadFile(path)
+}
+
+func printAnalysis(t *core.Topology, a *core.Analysis, replicas bool) {
+	fmt.Printf("%-28s %-22s %12s %12s %10s", "operator", "kind", "arrive(t/s)", "depart(t/s)", "rho")
+	if replicas {
+		fmt.Printf(" %9s", "replicas")
+	}
+	fmt.Println()
+	for i := 0; i < t.Len(); i++ {
+		op := t.Op(core.OpID(i))
+		fmt.Printf("%-28s %-22s %12.1f %12.1f %10.3f", op.Name, op.Kind, a.Lambda[i], a.Delta[i], a.Rho[i])
+		if replicas {
+			fmt.Printf(" %9d", a.Replicas[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("predicted throughput: %.1f items/s\n", a.Throughput())
+	if a.Bottlenecked() {
+		names := make([]string, 0, len(a.Limiting))
+		for _, id := range a.Limiting {
+			names = append(names, t.Op(id).Name)
+		}
+		fmt.Printf("limiting operators: %s\n", strings.Join(names, ", "))
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	latency := fs.Bool("latency", false, "also estimate per-operator and end-to-end latency (M/M/1)")
+	mailbox := fs.Int("mailbox", 64, "mailbox capacity assumed for saturated operators")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	a, err := core.SteadyState(t)
+	if errors.Is(err, core.ErrCyclic) {
+		fmt.Println("topology has feedback edges: using the cyclic traffic-equation analysis")
+		a, err = core.SteadyStateCyclic(t)
+	}
+	if err != nil {
+		return err
+	}
+	printAnalysis(t, a, false)
+	if *latency {
+		est, err := core.EstimateLatency(t, a, core.MM1, *mailbox)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s %14s %14s\n", "operator", "wait(ms)", "sojourn(ms)")
+		for i := 0; i < t.Len(); i++ {
+			fmt.Printf("%-28s %14.3f %14.3f\n",
+				t.Op(core.OpID(i)).Name, est.Wait[i]*1e3, est.Sojourn[i]*1e3)
+		}
+		fmt.Printf("expected end-to-end latency: %.3f ms\n", est.EndToEnd*1e3)
+		for _, v := range est.Saturated {
+			fmt.Printf("saturated (buffer-bound delay): %s\n", t.Op(v).Name)
+		}
+	}
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	out := fs.String("out", "", "write the optimized topology XML here")
+	maxReplicas := fs.Int("max-replicas", 0, "replica budget (0 = unbounded)")
+	emitter := fs.Duration("emitter-cost", 0, "emitter/collector service time for the saturation check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	res, err := core.EliminateBottlenecks(t, core.FissionOptions{
+		MaxReplicas:        *maxReplicas,
+		EmitterServiceTime: emitter.Seconds(),
+	})
+	if err != nil {
+		return err
+	}
+	printAnalysis(t, res.Analysis, true)
+	fmt.Printf("total replicas: %d (%d additional)\n", res.TotalReplicas, res.AdditionalReplicas)
+	if res.Capped {
+		fmt.Println("replica budget capped the parallelization")
+	}
+	for _, u := range res.Unresolved {
+		fmt.Printf("unresolved bottleneck: %s (%s)\n", t.Op(u).Name, t.Op(u).Kind)
+	}
+	if *out != "" {
+		if err := xmlio.WriteFile(*out, "optimized", t); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdCandidates(args []string) error {
+	fs := flag.NewFlagSet("candidates", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	cands, err := core.FusionCandidates(t, nil)
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		fmt.Println("no feasible fusion candidates")
+		return nil
+	}
+	fmt.Printf("%-40s %12s %14s\n", "members", "fused rho", "fused T (ms)")
+	for _, c := range cands {
+		names := make([]string, 0, len(c.Members))
+		for _, m := range c.Members {
+			names = append(names, t.Op(m).Name)
+		}
+		fmt.Printf("%-40s %12.3f %14.3f\n", strings.Join(names, ","), c.FusedUtilization, c.ServiceTime*1e3)
+	}
+	return nil
+}
+
+func parseMembers(t *core.Topology, list string) ([]core.OpID, error) {
+	if list == "" {
+		return nil, fmt.Errorf("-members is required (comma-separated operator names)")
+	}
+	var members []core.OpID
+	for _, name := range strings.Split(list, ",") {
+		id, ok := t.Lookup(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown operator %q", name)
+		}
+		members = append(members, id)
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
+	return members, nil
+}
+
+func cmdFuse(args []string) error {
+	fs := flag.NewFlagSet("fuse", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	out := fs.String("out", "", "write the fused topology XML here")
+	list := fs.String("members", "", "comma-separated names of the subgraph to fuse")
+	name := fs.String("name", "", "meta-operator name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	members, err := parseMembers(t, *list)
+	if err != nil {
+		return err
+	}
+	fused, report, err := core.Fuse(t, members, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fused service time: %.3f ms\n", report.ServiceTime*1e3)
+	fmt.Printf("throughput: %.1f -> %.1f items/s (predicted)\n", report.ThroughputBefore, report.ThroughputAfter)
+	if report.IntroducesBottleneck {
+		fmt.Printf("ALERT: fusion introduces a bottleneck (%.0f%% degradation predicted)\n", report.Degradation()*100)
+	} else {
+		fmt.Println("fusion is feasible: no bottleneck introduced")
+	}
+	printAnalysis(fused, report.After, false)
+	if *out != "" {
+		if err := xmlio.WriteFile(*out, "fused", fused); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	out := fs.String("out", "", "output .dot file (default stdout)")
+	annotate := fs.Bool("annotate", true, "color nodes by steady-state utilization")
+	optimize := fs.Bool("optimize", false, "annotate with the bottleneck-elimination result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	opts := dot.Options{Name: "spinstreams", RankLR: true}
+	if *optimize {
+		fis, err := core.EliminateBottlenecks(t, core.FissionOptions{})
+		if err != nil {
+			return err
+		}
+		opts.Analysis = fis.Analysis
+	} else if *annotate {
+		a, err := core.SteadyState(t)
+		if err != nil {
+			return err
+		}
+		opts.Analysis = a
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dot.Write(w, t, opts)
+}
+
+func cmdAutoFuse(args []string) error {
+	fs := flag.NewFlagSet("autofuse", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	out := fs.String("out", "", "write the fused topology XML here")
+	maxRho := fs.Float64("max-utilization", 0.9, "reject fusions whose meta-operator exceeds this utilization")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	res, err := core.AutoFuse(t, core.AutoFuseOptions{MaxUtilization: *maxRho})
+	if err != nil {
+		return err
+	}
+	for _, step := range res.Steps {
+		fmt.Printf("fused {%s} -> %s (T=%.3f ms, rho=%.2f)\n",
+			strings.Join(step.MemberNames, ", "), step.FusedName, step.ServiceTime*1e3, step.Utilization)
+	}
+	fmt.Printf("operators: %d -> %d; predicted throughput: %.1f -> %.1f items/s\n",
+		res.OperatorsBefore, res.OperatorsAfter, res.ThroughputBefore, res.ThroughputAfter)
+	if *out != "" {
+		if err := xmlio.WriteFile(*out, "autofused", res.Topology); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	samples := fs.Int("samples", 20000, "sample items per operator")
+	seed := fs.Uint64("seed", 1, "synthetic input seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-22s %14s %10s %10s\n", "operator", "kind", "service(us)", "in-sel", "out-sel")
+	for _, name := range operators.Catalog() {
+		op, err := operators.Build(operators.Spec{Impl: name, WindowLen: 1000, Slide: 10, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		prof, err := profiler.Measure(op, profiler.Config{Samples: *samples, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-22s %14.2f %10.2f %10.3f\n",
+			name, op.Meta().Kind, prof.ServiceTime*1e6, prof.InputSelectivity, prof.OutputSelectivity)
+	}
+	return nil
+}
+
+// specsFromImpls derives operator specs from the topology's Impl fields.
+func specsFromImpls(t *core.Topology) []operators.Spec {
+	specs := make([]operators.Spec, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		op := t.Op(core.OpID(i))
+		impl := op.Impl
+		if op.Kind == core.KindSource {
+			impl = "source"
+		}
+		if impl == "" {
+			impl = "identity"
+		}
+		spec := operators.Spec{Impl: impl}
+		if op.Keys != nil {
+			spec.NumKeys = len(op.Keys.Freq)
+		}
+		if op.InputSelectivity > 1 {
+			spec.WindowLen = int(op.InputSelectivity) * 10
+			spec.Slide = int(op.InputSelectivity)
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	out := fs.String("out", "", "output .go file (default stdout)")
+	list := fs.String("members", "", "optional subgraph to fuse in the generated program")
+	optimize := fs.Bool("optimize", false, "embed the bottleneck-elimination replication degrees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	input := codegen.Input{Topology: t, Specs: specsFromImpls(t)}
+	if *list != "" {
+		input.FuseMembers, err = parseMembers(t, *list)
+		if err != nil {
+			return err
+		}
+	}
+	if *optimize {
+		fis, err := core.EliminateBottlenecks(t, core.FissionOptions{})
+		if err != nil {
+			return err
+		}
+		input.Replicas = fis.Analysis.Replicas
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return codegen.Generate(w, input)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	duration := fs.Duration("duration", 5*time.Second, "run length")
+	mailbox := fs.Int("mailbox", 64, "mailbox capacity")
+	seed := fs.Uint64("seed", 1, "random seed")
+	optimize := fs.Bool("optimize", false, "apply bottleneck elimination before running")
+	nodes := fs.Int("nodes", 1, "partition the plan across N TCP-connected nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	var replicas []int
+	var predicted float64
+	if *optimize {
+		fis, err := core.EliminateBottlenecks(t, core.FissionOptions{})
+		if err != nil {
+			return err
+		}
+		replicas = fis.Analysis.Replicas
+		predicted = fis.Analysis.Throughput()
+	} else {
+		a, err := core.SteadyState(t)
+		if err != nil {
+			return err
+		}
+		predicted = a.Throughput()
+	}
+	binding := &runtime.Binding{Ops: map[core.OpID]operators.Operator{}}
+	for i, spec := range specsFromImpls(t) {
+		if spec.Impl == "source" || spec.Impl == "" {
+			continue
+		}
+		op, err := operators.Build(spec)
+		if err != nil {
+			return err
+		}
+		binding.Ops[core.OpID(i)] = op
+	}
+	runCfg := runtime.Config{
+		Duration:    *duration,
+		MailboxSize: *mailbox,
+		Seed:        *seed,
+	}
+	var m *runtime.Metrics
+	if *nodes > 1 {
+		p, err := plan.Build(t, plan.Options{Replicas: replicas})
+		if err != nil {
+			return err
+		}
+		m, err = runtime.RunDistributed(context.Background(), p, binding, runtime.DistributedConfig{
+			Config: runCfg,
+			Nodes:  *nodes,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		m, err = runtime.RunTopology(context.Background(), t, replicas, binding, runCfg)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("predicted throughput: %.1f items/s\n", predicted)
+	fmt.Printf("measured  throughput: %.1f items/s\n", m.Throughput)
+	for op, d := range m.Departure {
+		fmt.Printf("  %-28s departure %10.1f items/s (arrival %10.1f)\n",
+			t.Op(core.OpID(op)).Name, d, m.Arrival[op])
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	horizon := fs.Float64("horizon", 40, "simulated seconds")
+	mailbox := fs.Int("mailbox", 64, "mailbox capacity")
+	seed := fs.Uint64("seed", 1, "random seed")
+	optimize := fs.Bool("optimize", false, "apply bottleneck elimination before simulating")
+	shedding := fs.Bool("shedding", false, "use load-shedding semantics (drop on full mailboxes) instead of backpressure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadTopology(*in)
+	if err != nil {
+		return err
+	}
+	var replicas []int
+	var predicted float64
+	if *optimize {
+		fis, err := core.EliminateBottlenecks(t, core.FissionOptions{})
+		if err != nil {
+			return err
+		}
+		replicas = fis.Analysis.Replicas
+		predicted = fis.Analysis.Throughput()
+	} else {
+		a, err := core.SteadyState(t)
+		if err != nil {
+			return err
+		}
+		predicted = a.Throughput()
+	}
+	if *shedding {
+		shed, err := core.SteadyStateShedding(t)
+		if err != nil {
+			return err
+		}
+		predicted = shed.SinkRate
+	}
+	res, err := qsim.SimulateTopology(t, replicas, qsim.Config{
+		Seed: *seed, Horizon: *horizon, BufferSize: *mailbox, Shedding: *shedding,
+	})
+	if err != nil {
+		return err
+	}
+	if *shedding {
+		fmt.Printf("predicted delivered throughput (shedding): %.1f items/s\n", predicted)
+	} else {
+		fmt.Printf("predicted throughput: %.1f items/s\n", predicted)
+	}
+	fmt.Printf("simulated throughput: %.1f items/s (%d events)\n", res.Throughput, res.Events)
+	for op, d := range res.Departure {
+		fmt.Printf("  %-28s departure %10.1f items/s (arrival %10.1f", t.Op(core.OpID(op)).Name, d, res.Arrival[op])
+		if res.Dropped[op] > 0 {
+			fmt.Printf(", dropped %10.1f", res.Dropped[op])
+		}
+		fmt.Printf(")\n")
+	}
+	return nil
+}

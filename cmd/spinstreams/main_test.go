@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/xmlio"
+)
+
+// writePaperTopology writes the Section 5.4 example to a temp XML file.
+func writePaperTopology(t *testing.T) string {
+	t.Helper()
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	path := filepath.Join(t.TempDir(), "topo.xml")
+	if err := xmlio.WriteFile(path, "paper", topo); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs the CLI with args and returns its stdout.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	out, err := capture(t, "analyze", "-in", writePaperTopology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predicted throughput: 1000.0", "op1", "op6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIOptimize(t *testing.T) {
+	// Make op2 stateless and slow so fission triggers.
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	op2, _ := topo.Lookup("op2")
+	topo.Op(op2).Kind = core.KindStateless
+	topo.Op(op2).ServiceTime = 0.004
+	in := filepath.Join(t.TempDir(), "in.xml")
+	if err := xmlio.WriteFile(in, "t", topo); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(t.TempDir(), "out.xml")
+	out, err := capture(t, "optimize", "-in", in, "-out", outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total replicas:") {
+		t.Errorf("output missing replica summary:\n%s", out)
+	}
+	if _, err := xmlio.ReadFile(outFile); err != nil {
+		t.Errorf("optimized XML unreadable: %v", err)
+	}
+}
+
+func TestCLICandidatesAndFuse(t *testing.T) {
+	path := writePaperTopology(t)
+	out, err := capture(t, "candidates", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "op3") {
+		t.Errorf("candidates missing op3 subgraph:\n%s", out)
+	}
+	fusedFile := filepath.Join(t.TempDir(), "fused.xml")
+	out, err = capture(t, "fuse", "-in", path, "-members", "op3,op4,op5", "-name", "F", "-out", fusedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fusion is feasible") {
+		t.Errorf("fuse output:\n%s", out)
+	}
+	back, err := xmlio.ReadFile(fusedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Lookup("F"); !ok {
+		t.Error("fused topology lost the meta-operator")
+	}
+}
+
+func TestCLIFuseAlert(t *testing.T) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable2)
+	path := filepath.Join(t.TempDir(), "t2.xml")
+	if err := xmlio.WriteFile(path, "t2", topo); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "fuse", "-in", path, "-members", "op3,op4,op5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ALERT") {
+		t.Errorf("expected bottleneck alert:\n%s", out)
+	}
+}
+
+func TestCLIAutoFuse(t *testing.T) {
+	out, err := capture(t, "autofuse", "-in", writePaperTopology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "operators: 6 ->") {
+		t.Errorf("autofuse output:\n%s", out)
+	}
+}
+
+func TestCLISimulate(t *testing.T) {
+	out, err := capture(t, "simulate", "-in", writePaperTopology(t), "-horizon", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "simulated throughput:") {
+		t.Errorf("simulate output:\n%s", out)
+	}
+}
+
+func TestCLIGenerate(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "main.go")
+	if _, err := capture(t, "generate", "-in", writePaperTopology(t), "-out", outFile); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "package main") {
+		t.Error("generated file is not a main package")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"analyze"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"analyze", "-in", "/nonexistent.xml"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"fuse", "-in", writePaperTopology(t)}); err == nil {
+		t.Error("fuse without members accepted")
+	}
+	if err := run([]string{"fuse", "-in", writePaperTopology(t), "-members", "ghost"}); err == nil {
+		t.Error("unknown member accepted")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help failed: %v", err)
+	}
+}
+
+func TestCLIProfile(t *testing.T) {
+	out, err := capture(t, "profile", "-samples", "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"identity", "wquantile", "skyline", "service(us)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+}
+
+func TestCLIDot(t *testing.T) {
+	out, err := capture(t, "dot", "-in", writePaperTopology(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "rho=") {
+		t.Errorf("dot output incomplete:\n%s", out)
+	}
+}
+
+func TestCLIAnalyzeLatency(t *testing.T) {
+	out, err := capture(t, "analyze", "-in", writePaperTopology(t), "-latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "end-to-end latency") {
+		t.Errorf("latency output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,172 @@
+// Command ssbench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated testbed; see EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	ssbench                         # run everything (50-topology testbed)
+//	ssbench -exp fig7               # one experiment: fig7 fig8 fig9 fig10
+//	                                  table1 table2 keypart buffers latency
+//	ssbench -exp fig7live           # accuracy against the live goroutine runtime
+//	ssbench -quick                  # smaller testbed, shorter horizon
+//	ssbench -csv out/               # also export each data series as CSV
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/experiments"
+	"spinstreams/internal/qsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live (live runs only with -exp fig7live)")
+	seed := flag.Uint64("seed", 42, "testbed seed")
+	topologies := flag.Int("topologies", 50, "testbed size")
+	horizon := flag.Float64("horizon", 40, "simulated seconds per measurement")
+	quick := flag.Bool("quick", false, "small testbed and short horizon")
+	csvDir := flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
+	liveTopologies := flag.Int("live-topologies", 8, "testbed entries for fig7live")
+	liveDuration := flag.Duration("live-duration", 3*time.Second, "wall-clock run per topology for fig7live")
+	flag.Parse()
+
+	setup := experiments.Setup{
+		Seed:       *seed,
+		Topologies: *topologies,
+		Sim:        qsim.Config{Horizon: *horizon},
+	}
+	if *quick {
+		setup.Topologies = 10
+		setup.Sim.Horizon = 15
+	}
+
+	publish := func(name string, res interface {
+		fmt.Stringer
+		experiments.Tabular
+	}) error {
+		fmt.Println(res)
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		fh, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteCSV(fh, res); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}
+
+	runOne := func(name string) error {
+		switch name {
+		case "fig7":
+			res, err := experiments.Fig7(setup)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "fig8":
+			res, err := experiments.Fig8(setup)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "fig9":
+			res, err := experiments.Fig9(setup)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "fig10":
+			res, err := experiments.Fig10(setup)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "table1":
+			res, err := experiments.Table(setup, core.PaperExampleTable1)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "table2":
+			res, err := experiments.Table(setup, core.PaperExampleTable2)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "keypart":
+			res, err := experiments.KeyPartitioningAblation(100, 8, nil)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "buffers":
+			res, err := experiments.BufferSizeAblation(setup, nil)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "latency":
+			res, err := experiments.Latency(setup, nil)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "shedding":
+			res, err := experiments.Shedding(setup)
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "elasticity":
+			res, err := experiments.Elasticity(setup, experiments.ElasticityOptions{})
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "fig7live":
+			res, err := experiments.Fig7Live(context.Background(), setup, experiments.LiveOptions{
+				Topologies: *liveTopologies,
+				Duration:   *liveDuration,
+			})
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "table1", "table2", "keypart", "buffers", "latency", "shedding", "elasticity"} {
+			fmt.Printf("=== %s ===\n", strings.ToUpper(name))
+			if err := runOne(name); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}

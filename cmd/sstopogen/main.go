@@ -1,0 +1,71 @@
+// Command sstopogen generates random streaming topologies per Algorithm 5
+// of the paper and writes them as SpinStreams XML files — the tool that
+// builds the evaluation testbed.
+//
+// Usage:
+//
+//	sstopogen -n 50 -seed 42 -out testbed/     # testbed/topo01.xml ...
+//	sstopogen -vertices 12 -edges 14           # one sized topology to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spinstreams/internal/randtopo"
+	"spinstreams/internal/xmlio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sstopogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 1, "number of topologies")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("out", "", "output directory (default: single topology to stdout)")
+	vertices := flag.Int("vertices", 0, "exact vertex count (0 = random in [2,20])")
+	edges := flag.Int("edges", 0, "expected edge count (with -vertices)")
+	sourceFactor := flag.Float64("source-factor", 1.33, "source rate vs fastest operator")
+	flag.Parse()
+
+	cfg := randtopo.Config{Seed: *seed, SourceFactor: *sourceFactor}
+
+	if *out == "" {
+		g, err := generate(cfg, *vertices, *edges)
+		if err != nil {
+			return err
+		}
+		return xmlio.Write(os.Stdout, "generated", g.Topology)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	bed, err := randtopo.Testbed(cfg, *n)
+	if err != nil {
+		return err
+	}
+	for i, g := range bed {
+		path := filepath.Join(*out, fmt.Sprintf("topo%02d.xml", i+1))
+		if err := xmlio.WriteFile(path, fmt.Sprintf("testbed-%02d", i+1), g.Topology); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d operators, %d edges)\n", path, g.Topology.Len(), g.Topology.NumEdges())
+	}
+	return nil
+}
+
+func generate(cfg randtopo.Config, vertices, edges int) (*randtopo.Generated, error) {
+	if vertices > 0 {
+		if edges <= 0 {
+			edges = vertices - 1
+		}
+		return randtopo.GenerateSized(cfg, vertices, edges)
+	}
+	return randtopo.Generate(cfg)
+}

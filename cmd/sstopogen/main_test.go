@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spinstreams/internal/randtopo"
+	"spinstreams/internal/xmlio"
+)
+
+func TestGenerateSizedPath(t *testing.T) {
+	g, err := generate(randtopo.Config{Seed: 1}, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topology.Len() != 8 {
+		t.Fatalf("vertices = %d, want 8", g.Topology.Len())
+	}
+}
+
+func TestGenerateRandomPath(t *testing.T) {
+	g, err := generate(randtopo.Config{Seed: 2}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topology.Len() < 2 {
+		t.Fatalf("vertices = %d", g.Topology.Len())
+	}
+}
+
+func TestGenerateDefaultEdges(t *testing.T) {
+	// -vertices without -edges defaults to a spanning count.
+	g, err := generate(randtopo.Config{Seed: 3}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topology.NumEdges() < 5 {
+		t.Fatalf("edges = %d, want >= v-1", g.Topology.NumEdges())
+	}
+}
+
+func TestTestbedFilesAreReadable(t *testing.T) {
+	dir := t.TempDir()
+	bed, err := randtopo.Testbed(randtopo.Config{Seed: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range bed {
+		path := filepath.Join(dir, "t.xml")
+		if err := xmlio.WriteFile(path, "t", g.Topology); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if _, err := xmlio.ReadFile(path); err != nil {
+			t.Fatalf("entry %d unreadable: %v", i, err)
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

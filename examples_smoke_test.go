@@ -1,0 +1,42 @@
+package spinstreams_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each bundled example end to end; every program
+// must exit cleanly and print the markers its walkthrough promises. The
+// examples double as the library's integration suite: analysis, fission,
+// fusion (Algorithm 4 live), keyed fission under skew, and distributed
+// execution all run for real.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples execute live topologies for seconds each")
+	}
+	cases := []struct {
+		path    string
+		markers []string
+	}{
+		{"./examples/quickstart", []string{"after fission", "executed live"}},
+		{"./examples/fusionpaper", []string{"Table 1", "Table 2", "alert=true"}},
+		{"./examples/fraud", []string{"optimized (budget 12 replicas)", "live run"}},
+		{"./examples/sensors", []string{"best fusion candidate", "live fused topology"}},
+		{"./examples/distributed", []string{"single process", "3 nodes over TCP"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.path, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", tc.path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, marker := range tc.markers {
+				if !strings.Contains(string(out), marker) {
+					t.Errorf("output missing %q:\n%s", marker, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module spinstreams
+
+go 1.22

@@ -1,0 +1,175 @@
+package codegen
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/randtopo"
+)
+
+func paperInput(t *testing.T) Input {
+	t.Helper()
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	specs := make([]operators.Spec, topo.Len())
+	specs[0] = operators.Spec{Impl: "source"}
+	for i := 1; i < topo.Len(); i++ {
+		specs[i] = operators.Spec{Impl: "identity"}
+	}
+	return Input{Topology: topo, Specs: specs}
+}
+
+func generate(t *testing.T, in Input) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Generate(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func parseOK(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGeneratePlain(t *testing.T) {
+	src := generate(t, paperInput(t))
+	parseOK(t, src)
+	for _, want := range []string{
+		"package main", "core.NewTopology()", "MustConnect", "runtime.RunTopology",
+		"core.SteadyState(t)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateWithReplicas(t *testing.T) {
+	in := paperInput(t)
+	// Stateless vertices for replication.
+	for i := 1; i < in.Topology.Len()-1; i++ {
+		in.Topology.Op(core.OpID(i)).Kind = core.KindStateless
+	}
+	in.Replicas = []int{1, 2, 1, 3, 1, 1}
+	src := generate(t, in)
+	parseOK(t, src)
+	if !strings.Contains(src, "SteadyStateWithReplicas") {
+		t.Error("replica program does not pin degrees")
+	}
+}
+
+func TestGenerateWithFusion(t *testing.T) {
+	in := paperInput(t)
+	in.FuseMembers = []core.OpID{2, 3, 4}
+	in.FusedName = "F"
+	src := generate(t, in)
+	parseOK(t, src)
+	for _, want := range []string{"core.Fuse(t, members", "NewMetaOperator", "report.SurvivorIDs"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("fusion program missing %q", want)
+		}
+	}
+}
+
+func TestGenerateWithKeys(t *testing.T) {
+	topo := core.NewTopology()
+	topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 0.001})
+	ps := topo.MustAddOperator(core.Operator{
+		Name: "agg", Kind: core.KindPartitionedStateful, ServiceTime: 0.002,
+		Keys: &core.KeyDistribution{Freq: []float64{0.5, 0.5}},
+	})
+	topo.MustConnect(0, ps, 1)
+	src := generate(t, Input{
+		Topology: topo,
+		Specs:    []operators.Spec{{Impl: "source"}, {Impl: "wsum", WindowLen: 100, Slide: 10}},
+	})
+	parseOK(t, src)
+	if !strings.Contains(src, "KeyDistribution{Freq: []float64{0.5, 0.5}}") {
+		t.Error("key distribution not emitted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	in := paperInput(t)
+	in.Specs = in.Specs[:2]
+	if err := Generate(&bytes.Buffer{}, in); err == nil {
+		t.Error("spec count mismatch accepted")
+	}
+	in = paperInput(t)
+	in.Replicas = []int{1}
+	if err := Generate(&bytes.Buffer{}, in); err == nil {
+		t.Error("replica count mismatch accepted")
+	}
+	in = paperInput(t)
+	in.Replicas = make([]int, in.Topology.Len())
+	in.FuseMembers = []core.OpID{2, 3}
+	if err := Generate(&bytes.Buffer{}, in); err == nil {
+		t.Error("fusion+replicas accepted")
+	}
+	if err := Generate(&bytes.Buffer{}, Input{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestGenerateRandomTopologiesParse(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g, err := randtopo.Generate(randtopo.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := generate(t, Input{Topology: g.Topology, Specs: g.Specs})
+		parseOK(t, src)
+	}
+}
+
+// TestGeneratedProgramBuildsAndRuns is the full integration check: the
+// generated program must compile inside this module and execute.
+func TestGeneratedProgramBuildsAndRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs a generated binary")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directories starting with "." are invisible to the go tool, so a
+	// leftover cannot break ./... builds.
+	dir, err := os.MkdirTemp(root, ".codegen-test-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	src := generate(t, paperInput(t))
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "gen")
+	build := exec.Command("go", "build", "-o", bin, dir)
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build failed: %v\n%s\n--- generated source ---\n%s", err, out, src)
+	}
+	run := exec.Command(bin, "-duration", "400ms")
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated binary failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"predicted throughput", "measured  throughput"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// AutoFuseOptions tunes the automatic fusion process.
+type AutoFuseOptions struct {
+	// MaxUtilization rejects candidates whose meta-operator would exceed
+	// this utilization in the fused topology; defaults to 0.9, leaving
+	// headroom so fusion never flirts with saturation.
+	MaxUtilization float64
+	// MaxRounds bounds the number of fusion rounds (0 = no bound).
+	MaxRounds int
+	// NamePrefix names the generated meta-operators ("fusedN" by default).
+	NamePrefix string
+}
+
+// AutoFuseStep records one applied fusion.
+type AutoFuseStep struct {
+	// MemberNames are the fused operators (names, since IDs shift between
+	// rounds).
+	MemberNames []string
+	// FusedName is the meta-operator's name.
+	FusedName string
+	// ServiceTime is the meta-operator's predicted service time.
+	ServiceTime float64
+	// Utilization is its predicted utilization after the fusion.
+	Utilization float64
+}
+
+// AutoFuseResult is the outcome of the automatic fusion process.
+type AutoFuseResult struct {
+	// Topology is the final fused topology.
+	Topology *Topology
+	// Steps lists the fusions applied, in order.
+	Steps []AutoFuseStep
+	// ThroughputBefore and ThroughputAfter are the predicted throughputs
+	// of the initial and final topologies; automatic fusion never lowers
+	// the predicted throughput.
+	ThroughputBefore, ThroughputAfter float64
+	// OperatorsBefore and OperatorsAfter count the vertices.
+	OperatorsBefore, OperatorsAfter int
+}
+
+// AutoFuse automates the operator-fusion process the paper leaves to the
+// user (and lists as future work in Section 7): it repeatedly evaluates the
+// ranked fusion candidates (dominated single-front-end subgraphs) and
+// applies the most underutilized one whose meta-operator stays below the
+// utilization threshold and whose predicted topology throughput is
+// preserved, until no candidate qualifies. The result is a coarser,
+// semantically equivalent topology with fewer scheduling units and no new
+// bottleneck.
+func AutoFuse(t *Topology, opts AutoFuseOptions) (*AutoFuseResult, error) {
+	if opts.MaxUtilization <= 0 || opts.MaxUtilization > 1 {
+		opts.MaxUtilization = 0.9
+	}
+	if opts.NamePrefix == "" {
+		opts.NamePrefix = "fused"
+	}
+	base, err := SteadyState(t)
+	if err != nil {
+		return nil, err
+	}
+	res := &AutoFuseResult{
+		Topology:         t.Clone(),
+		ThroughputBefore: base.Throughput(),
+		OperatorsBefore:  t.Len(),
+	}
+	round := 0
+	for {
+		if opts.MaxRounds > 0 && round >= opts.MaxRounds {
+			break
+		}
+		cur := res.Topology
+		a, err := SteadyState(cur)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := FusionCandidates(cur, a)
+		if err != nil {
+			return nil, err
+		}
+		applied := false
+		for _, c := range cands {
+			if c.FusedUtilization > opts.MaxUtilization {
+				continue
+			}
+			name := fmt.Sprintf("%s%d", opts.NamePrefix, round+1)
+			fused, report, err := Fuse(cur, c.Members, name)
+			if err != nil {
+				continue
+			}
+			if report.IntroducesBottleneck || report.ThroughputAfter < res.ThroughputBefore*(1-rhoTolerance) {
+				continue
+			}
+			memberNames := make([]string, 0, len(c.Members))
+			for _, m := range c.Members {
+				memberNames = append(memberNames, cur.Op(m).Name)
+			}
+			res.Steps = append(res.Steps, AutoFuseStep{
+				MemberNames: memberNames,
+				FusedName:   name,
+				ServiceTime: report.ServiceTime,
+				Utilization: report.After.Rho[report.FusedID],
+			})
+			res.Topology = fused
+			applied = true
+			round++
+			break
+		}
+		if !applied {
+			break
+		}
+	}
+	final, err := SteadyState(res.Topology)
+	if err != nil {
+		return nil, err
+	}
+	res.ThroughputAfter = final.Throughput()
+	res.OperatorsAfter = res.Topology.Len()
+	return res, nil
+}

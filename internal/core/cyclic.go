@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Cyclic-analysis errors.
+var (
+	// ErrDivergentCycle reports a feedback loop whose gain-weighted
+	// routing returns at least as much traffic as it consumes, so the
+	// traffic equations have no finite solution.
+	ErrDivergentCycle = errors.New("cyclic steady state: feedback traffic does not converge")
+)
+
+// ValidateCyclic checks the relaxed assumptions of the cyclic analysis:
+// non-empty, a single source of kind source, every vertex reachable from
+// it, and output probabilities summing to one. Unlike Validate, directed
+// cycles are allowed.
+func (t *Topology) ValidateCyclic() error {
+	if t.Len() == 0 {
+		return ErrEmpty
+	}
+	srcs := t.Sources()
+	switch {
+	case len(srcs) == 0:
+		return ErrNoSource
+	case len(srcs) > 1:
+		return fmt.Errorf("%w: %d roots", ErrMultipleSources, len(srcs))
+	}
+	src := srcs[0]
+	if t.ops[src].Kind != KindSource {
+		return fmt.Errorf("%w: root %q has kind %s, want source", ErrBadKind, t.ops[src].Name, t.ops[src].Kind)
+	}
+	seen := make([]bool, t.Len())
+	stack := []OpID{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.out[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnreachable, t.ops[i].Name)
+		}
+	}
+	for i := range t.ops {
+		if len(t.out[i]) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, e := range t.out[i] {
+			sum += e.Prob
+		}
+		if math.Abs(sum-1) > probTolerance {
+			return fmt.Errorf("%w: %q outputs sum to %v", ErrBadProbability, t.ops[i].Name, sum)
+		}
+	}
+	return nil
+}
+
+// SteadyStateCyclic extends the steady-state analysis to topologies with
+// feedback edges — the remaining generality the paper names as future work
+// (Section 7, together with multiple sources, which AddFictitiousSource
+// covers). The traffic equations lambda = gamma + G(lambda) are solved by
+// fixed-point iteration (they converge whenever every cycle's
+// gain-weighted routing product is below one — e.g. retry loops that
+// re-inject a fraction p < 1 of the items); the binding capacity
+// constraint then scales the source exactly as in the single-pass acyclic
+// analysis, which is exact because the fixed point is linear in the source
+// rate.
+func SteadyStateCyclic(t *Topology) (*Analysis, error) {
+	if err := t.ValidateCyclic(); err != nil {
+		return nil, err
+	}
+	src := t.Source()
+	srcOp := t.Op(src)
+
+	// Demand pass: unit source emission, iterate the traffic equations.
+	demand, err := t.solveTraffic(src, 1)
+	if err != nil {
+		return nil, err
+	}
+	factor := 1.0
+	var limiting []OpID
+	full := srcOp.Rate() * srcOp.Gain()
+	for i := 0; i < t.Len(); i++ {
+		if OpID(i) == src {
+			continue
+		}
+		if load := full * demand[i]; load > t.Op(OpID(i)).Rate()*(1+rhoTolerance) {
+			f := t.Op(OpID(i)).Rate() / load
+			switch {
+			case f < factor-rhoTolerance:
+				factor = f
+				limiting = []OpID{OpID(i)}
+			case f <= factor+rhoTolerance:
+				limiting = append(limiting, OpID(i))
+			}
+		}
+	}
+
+	a := newAnalysis(t.Len())
+	delta1 := full * factor
+	a.Delta[src] = delta1
+	a.Rho[src] = factor
+	a.Lambda[src] = delta1 / srcOp.Gain()
+	for i := 0; i < t.Len(); i++ {
+		if OpID(i) == src {
+			continue
+		}
+		lambda := delta1 * demand[i]
+		mu := t.Op(OpID(i)).Rate()
+		a.Lambda[i] = lambda
+		a.Rho[i] = lambda / mu
+		a.Delta[i] = math.Min(lambda, mu) * t.Op(OpID(i)).Gain()
+	}
+	a.Limiting = limiting
+	a.finish(t)
+	return a, nil
+}
+
+// solveTraffic iterates lambda_i = sum_j delta_j p(j,i) with the source
+// pinned at sourceRate, returning the per-vertex arrival rates. It fails
+// when feedback amplifies traffic without bound.
+func (t *Topology) solveTraffic(src OpID, sourceRate float64) ([]float64, error) {
+	n := t.Len()
+	lambda := make([]float64, n)
+	const (
+		maxIters = 10000
+		tol      = 1e-12
+	)
+	srcOut := sourceRate * t.Op(src).Gain()
+	for iter := 0; iter < maxIters; iter++ {
+		next := make([]float64, n)
+		for j := 0; j < n; j++ {
+			var out float64
+			if OpID(j) == src {
+				out = srcOut
+			} else {
+				out = lambda[j] * t.Op(OpID(j)).Gain()
+			}
+			for _, e := range t.out[j] {
+				next[e.To] += out * e.Prob
+			}
+		}
+		maxDiff, maxVal := 0.0, 0.0
+		for i := range next {
+			d := math.Abs(next[i] - lambda[i])
+			if d > maxDiff {
+				maxDiff = d
+			}
+			if next[i] > maxVal {
+				maxVal = next[i]
+			}
+		}
+		lambda = next
+		if maxDiff <= tol*(1+maxVal) {
+			return lambda, nil
+		}
+		if maxVal > 1e15*sourceRate {
+			return nil, ErrDivergentCycle
+		}
+	}
+	return nil, ErrDivergentCycle
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSteadyStateCyclicRelayLoop(t *testing.T) {
+	// src -> work -> {sink 0.7, retry 0.3}; retry -> work. The feedback
+	// multiplies work's arrivals by 1/(1-0.3).
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	work := topo.MustAddOperator(Operator{Name: "work", Kind: KindStateful, ServiceTime: 0.0005})
+	retry := topo.MustAddOperator(Operator{Name: "retry", Kind: KindStateful, ServiceTime: 0.0001})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, work, 1)
+	topo.MustConnect(work, sink, 0.7)
+	topo.MustConnect(work, retry, 0.3)
+	topo.MustConnect(retry, work, 1)
+
+	// The acyclic analysis must reject it...
+	if _, err := SteadyState(topo); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("acyclic analysis: got %v, want ErrCyclic", err)
+	}
+	// ...and the cyclic one solves the traffic equations.
+	a, err := SteadyStateCyclic(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "lambda work", a.Lambda[work], 1000/0.7, 1e-6)
+	approx(t, "rho work", a.Rho[work], (1000/0.7)*0.0005, 1e-9)
+	approx(t, "sink delta", a.Delta[sink], 1000, 1e-6)
+	approx(t, "throughput", a.Throughput(), 1000, 1e-9)
+	if a.Bottlenecked() {
+		t.Errorf("Limiting = %v, want none (rho work = %.2f)", a.Limiting, a.Rho[work])
+	}
+}
+
+func TestSteadyStateCyclicBottleneckInLoop(t *testing.T) {
+	// Same loop but work is slow: its effective demand is 1/(1-p) times
+	// the source, so the source must throttle accordingly.
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	work := topo.MustAddOperator(Operator{Name: "work", Kind: KindStateful, ServiceTime: 0.002})
+	retry := topo.MustAddOperator(Operator{Name: "retry", Kind: KindStateful, ServiceTime: 0.0001})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, work, 1)
+	topo.MustConnect(work, sink, 0.5)
+	topo.MustConnect(work, retry, 0.5)
+	topo.MustConnect(retry, work, 1)
+
+	a, err := SteadyStateCyclic(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// work capacity 500/s; demand per source item = 1/(1-0.5) = 2:
+	// throughput = 500/2 = 250/s.
+	approx(t, "throughput", a.Throughput(), 250, 1e-6)
+	approx(t, "rho work", a.Rho[work], 1, 1e-9)
+	if len(a.Limiting) != 1 || a.Limiting[0] != work {
+		t.Errorf("Limiting = %v, want [work]", a.Limiting)
+	}
+	approx(t, "sink delta", a.Delta[sink], 250, 1e-6)
+}
+
+func TestSteadyStateCyclicMatchesAcyclicOnDAGs(t *testing.T) {
+	// On acyclic graphs the cyclic solver must agree with Algorithm 1.
+	topo, _ := PaperExampleTopology(PaperExampleTable2)
+	acyclic, err := SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic, err := SteadyStateCyclic(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range acyclic.Delta {
+		if math.Abs(acyclic.Delta[i]-cyclic.Delta[i]) > 1e-6*(acyclic.Delta[i]+1) {
+			t.Fatalf("delta[%d]: %v vs %v", i, acyclic.Delta[i], cyclic.Delta[i])
+		}
+	}
+}
+
+func TestSteadyStateCyclicDivergence(t *testing.T) {
+	// A loop with an amplifying gain feeds back more than it consumes.
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	boost := topo.MustAddOperator(Operator{
+		Name: "boost", Kind: KindStateful, ServiceTime: 0.0001, OutputSelectivity: 3,
+	})
+	relay := topo.MustAddOperator(Operator{Name: "relay", Kind: KindStateful, ServiceTime: 0.0001})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, boost, 1)
+	topo.MustConnect(boost, relay, 0.5)
+	topo.MustConnect(boost, sink, 0.5)
+	topo.MustConnect(relay, boost, 1)
+
+	if _, err := SteadyStateCyclic(topo); !errors.Is(err, ErrDivergentCycle) {
+		t.Fatalf("got %v, want ErrDivergentCycle", err)
+	}
+}
+
+func TestValidateCyclicErrors(t *testing.T) {
+	if err := NewTopology().ValidateCyclic(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	topo := NewTopology()
+	a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+	b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSink, ServiceTime: 1})
+	topo.MustConnect(a, b, 0.5)
+	if err := topo.ValidateCyclic(); !errors.Is(err, ErrBadProbability) {
+		t.Errorf("bad probability: %v", err)
+	}
+}

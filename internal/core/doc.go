@@ -1,0 +1,24 @@
+// Package core implements the SpinStreams cost models and static
+// optimization algorithms for data stream processing topologies.
+//
+// A streaming application is modeled as a rooted acyclic flow graph whose
+// vertices are operators (queueing stations with a measured service rate,
+// input/output selectivity and a state kind) and whose edges are data streams
+// annotated with routing probabilities. The package provides:
+//
+//   - steady-state analysis of throughput under backpressure
+//     (Blocking-After-Service semantics), Algorithm 1 of the paper;
+//   - bottleneck elimination via operator fission with optimal replication
+//     degrees and key partitioning for partitioned-stateful operators,
+//     Algorithm 2, including the hold-off replica budget heuristic;
+//   - operator fusion of single-front-end subgraphs into semantically
+//     equivalent meta-operators, Algorithm 3, with automatic candidate
+//     ranking;
+//   - the fictitious-source transform that extends the analyses to
+//     multi-source topologies.
+//
+// All rates are expressed in items per second and service times in seconds.
+// The algorithms are purely analytical: they never execute the topology.
+// Execution lives in the runtime and qsim packages, which share the same
+// Topology model.
+package core

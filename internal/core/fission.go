@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spinstreams/internal/keypart"
+)
+
+// FissionOptions tunes the bottleneck-elimination pass (Algorithm 2).
+type FissionOptions struct {
+	// MaxReplicas, when > 0, bounds the total number of replicas used in
+	// the optimized topology (the paper's hold-off replication, Section
+	// 3.2): if the unbounded pass needs N > MaxReplicas replicas, every
+	// replication degree is scaled by MaxReplicas/N.
+	MaxReplicas int
+	// Partitioner assigns keys to replicas for partitioned-stateful
+	// operators. Defaults to keypart.Greedy{}.
+	Partitioner keypart.Partitioner
+	// EmitterServiceTime, when > 0, enables the emitter/collector
+	// saturation check the paper sketches in Section 4.2: replicating an
+	// operator is pointless once the scheduling emitter itself saturates
+	// at 1/EmitterServiceTime items per second. Replication degrees are
+	// capped so the emitter never becomes the new bottleneck.
+	EmitterServiceTime float64
+}
+
+// FissionResult is the outcome of bottleneck elimination.
+type FissionResult struct {
+	// Analysis holds the steady-state figures of the parallelized
+	// topology, including the chosen replication degrees.
+	Analysis *Analysis
+	// TotalReplicas is the sum of all replication degrees.
+	TotalReplicas int
+	// AdditionalReplicas counts replicas beyond one per operator.
+	AdditionalReplicas int
+	// Unresolved lists operators that remain bottlenecks: stateful
+	// operators, partitioned-stateful ones whose key skew prevents an even
+	// split, and operators capped by the replica budget or emitter check.
+	Unresolved []OpID
+	// Capped reports that the replica budget reduced the replication
+	// degrees below the unbounded optimum.
+	Capped bool
+}
+
+// EliminateBottlenecks runs Algorithm 2: it traverses the topology in
+// topological order and, at each saturated vertex, either parallelizes it
+// (stateless: ceil(rho) replicas; partitioned-stateful: replicas chosen by
+// key partitioning) or, when fission cannot unblock it, lowers the source
+// departure rate per Theorem 3.2 and restarts. With opts.MaxReplicas set,
+// a second pass re-evaluates the topology under the scaled-down degrees.
+//
+// The topology itself is not modified; the chosen degrees are reported in
+// the result's Analysis.Replicas.
+func EliminateBottlenecks(t *Topology, opts FissionOptions) (*FissionResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := t.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	part := opts.Partitioner
+	if part == nil {
+		part = keypart.Greedy{}
+	}
+
+	res := &FissionResult{Analysis: newAnalysis(t.Len())}
+	a := res.Analysis
+	if err := a.propagate(t, order, func(v OpID, lambda float64) bool {
+		return res.tryFission(t, v, lambda, part, opts)
+	}); err != nil {
+		return nil, err
+	}
+
+	if opts.MaxReplicas > 0 {
+		capped, err := res.applyBudget(t, order, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Capped = capped
+		a = res.Analysis // applyBudget re-evaluates into a fresh analysis
+	}
+
+	a.finish(t)
+	res.Unresolved = append([]OpID(nil), a.Limiting...)
+	for i := range a.Replicas {
+		res.TotalReplicas += a.Replicas[i]
+		res.AdditionalReplicas += a.Replicas[i] - 1
+	}
+	return res, nil
+}
+
+// SteadyStateWithReplicas runs the steady-state analysis with pinned
+// replication degrees: saturated vertices correct the source rate (as in
+// Algorithm 1) instead of growing further. Partitioned-stateful operators
+// with more than one replica are re-partitioned with part (nil selects
+// keypart.Greedy) to obtain the load of their most loaded replica.
+func SteadyStateWithReplicas(t *Topology, replicas []int, part keypart.Partitioner) (*Analysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(replicas) != t.Len() {
+		return nil, fmt.Errorf("steady state: %d replicas for %d operators", len(replicas), t.Len())
+	}
+	order, err := t.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	if part == nil {
+		part = keypart.Greedy{}
+	}
+	a := newAnalysis(t.Len())
+	for i, n := range replicas {
+		if n <= 1 {
+			continue
+		}
+		op := t.Op(OpID(i))
+		if !op.Kind.CanReplicate() {
+			return nil, fmt.Errorf("steady state: operator %q of kind %s cannot be replicated", op.Name, op.Kind)
+		}
+		a.Replicas[i] = n
+		if op.Kind == KindPartitionedStateful {
+			asg, err := part.Partition(op.Keys.Freq, n)
+			if err != nil {
+				return nil, fmt.Errorf("steady state: partition %q: %w", op.Name, err)
+			}
+			a.Replicas[i] = asg.Replicas
+			a.PMax[i] = asg.PMax
+		}
+	}
+	if err := a.propagate(t, order, nil); err != nil {
+		return nil, err
+	}
+	a.finish(t)
+	return a, nil
+}
+
+// tryFission reacts to a saturated vertex. It returns true when the
+// vertex's capacity was raised so the traversal can re-evaluate it, false
+// when the bottleneck cannot be (further) eliminated and the source rate
+// must be corrected instead.
+func (res *FissionResult) tryFission(t *Topology, v OpID, lambda float64, part keypart.Partitioner, opts FissionOptions) bool {
+	a := res.Analysis
+	op := t.Op(v)
+	if a.Replicas[v] > 1 {
+		// Already parallelized as far as this operator allows.
+		return false
+	}
+	rho := lambda / op.Rate()
+	switch op.Kind {
+	case KindStateless:
+		n := optimalDegree(rho)
+		n = capDegree(n, lambda, opts)
+		if n <= 1 {
+			return false
+		}
+		a.Replicas[v] = n
+		return true
+	case KindPartitionedStateful:
+		nopt := optimalDegree(rho)
+		nopt = capDegree(nopt, lambda, opts)
+		if nopt <= 1 {
+			return false
+		}
+		asg, err := part.Partition(op.Keys.Freq, nopt)
+		if err != nil || asg.Replicas <= 1 {
+			return false
+		}
+		a.Replicas[v] = asg.Replicas
+		a.PMax[v] = asg.PMax
+		return true
+	default:
+		// Source, sink and monolithic stateful operators cannot be
+		// replicated (Algorithm 2 line 24).
+		return false
+	}
+}
+
+// optimalDegree computes ceil(rho), the minimum replication degree that
+// unblocks a bottleneck with utilization rho (Definition 1).
+func optimalDegree(rho float64) int {
+	n := int(math.Ceil(rho - rhoTolerance))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// capDegree applies the emitter saturation check: beyond the degree at
+// which the emitter actor saturates, additional replicas are useless
+// because items cannot be scheduled fast enough.
+func capDegree(n int, lambda float64, opts FissionOptions) int {
+	if opts.EmitterServiceTime <= 0 || n <= 1 {
+		return n
+	}
+	emitterRate := 1 / opts.EmitterServiceTime
+	if lambda <= emitterRate {
+		return n
+	}
+	// The emitter caps the deliverable arrival rate at emitterRate; more
+	// replicas than ceil(emitterRate/mu_effective share) are wasted. We
+	// conservatively cap n so that each replica is still fully usable.
+	capN := int(math.Floor(emitterRate / (lambda / float64(n))))
+	if capN < 1 {
+		capN = 1
+	}
+	if capN < n {
+		return capN
+	}
+	return n
+}
+
+// applyBudget implements hold-off replication: when the unbounded pass used
+// N total replicas and the user allows Nmax < N, each degree is multiplied
+// by r = Nmax/N (keeping at least one replica), then the steady state is
+// re-evaluated with the reduced degrees so the reported rates reflect the
+// budgeted topology. Small rounding anomalies are adjusted by removing
+// replicas from the least-utilized operators until the budget is met.
+func (res *FissionResult) applyBudget(t *Topology, order []OpID, opts FissionOptions) (bool, error) {
+	a := res.Analysis
+	total := 0
+	for _, n := range a.Replicas {
+		total += n
+	}
+	if total <= opts.MaxReplicas {
+		return false, nil
+	}
+	r := float64(opts.MaxReplicas) / float64(total)
+	budgeted := make([]int, len(a.Replicas))
+	newTotal := 0
+	for i, n := range a.Replicas {
+		m := int(math.Floor(float64(n) * r))
+		if m < 1 {
+			m = 1
+		}
+		budgeted[i] = m
+		newTotal += m
+	}
+	// Rounding can leave us above the budget (floors bounded below by 1);
+	// trim replicas from the operators with the lowest per-replica load.
+	for newTotal > opts.MaxReplicas {
+		best := -1
+		bestLoad := math.Inf(1)
+		for i, m := range budgeted {
+			if m <= 1 {
+				continue
+			}
+			load := a.Lambda[i] / float64(m)
+			if load < bestLoad {
+				bestLoad = load
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every operator is at one replica; budget unreachable
+		}
+		budgeted[best]--
+		newTotal--
+	}
+
+	// Re-run the steady-state propagation with the degrees pinned: any
+	// vertex that saturates now corrects the source rate (no new fission).
+	fresh := newAnalysis(t.Len())
+	copy(fresh.Replicas, budgeted)
+	for i, n := range budgeted {
+		if t.Op(OpID(i)).Kind == KindPartitionedStateful && n > 1 {
+			// Re-partition the keys for the reduced degree.
+			part := opts.Partitioner
+			if part == nil {
+				part = keypart.Greedy{}
+			}
+			asg, err := part.Partition(t.Op(OpID(i)).Keys.Freq, n)
+			if err != nil {
+				return false, fmt.Errorf("hold-off repartition %q: %w", t.Op(OpID(i)).Name, err)
+			}
+			fresh.Replicas[i] = asg.Replicas
+			fresh.PMax[i] = asg.PMax
+		}
+	}
+	if err := fresh.propagate(t, order, nil); err != nil {
+		return false, err
+	}
+	res.Analysis = fresh
+	return true, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spinstreams/internal/keypart"
+)
+
+func TestEliminateBottlenecksStateless(t *testing.T) {
+	// Middle stage 3.5x slower than the source: needs ceil(3.5) = 4 replicas.
+	topo, ids := mustPipeline(t, 0.001, 0.0035, 0.0001)
+	res, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Analysis.Replicas[ids[1]]; got != 4 {
+		t.Errorf("replicas = %d, want 4", got)
+	}
+	approx(t, "throughput", res.Analysis.Throughput(), 1000, 1e-6)
+	if len(res.Unresolved) != 0 {
+		t.Errorf("Unresolved = %v, want empty", res.Unresolved)
+	}
+	if res.AdditionalReplicas != 3 {
+		t.Errorf("AdditionalReplicas = %d, want 3", res.AdditionalReplicas)
+	}
+	if res.TotalReplicas != topo.Len()+3 {
+		t.Errorf("TotalReplicas = %d, want %d", res.TotalReplicas, topo.Len()+3)
+	}
+}
+
+func TestEliminateBottlenecksStatefulRemains(t *testing.T) {
+	// A monolithic stateful bottleneck cannot be replicated: the source
+	// rate is corrected instead (Algorithm 2 line 24).
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	st := topo.MustAddOperator(Operator{Name: "state", Kind: KindStateful, ServiceTime: 0.004})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, st, 1)
+	topo.MustConnect(st, sink, 1)
+	res, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "throughput", res.Analysis.Throughput(), 250, 1e-6)
+	if res.Analysis.Replicas[st] != 1 {
+		t.Errorf("stateful operator replicated: %d", res.Analysis.Replicas[st])
+	}
+	if len(res.Unresolved) != 1 || res.Unresolved[0] != st {
+		t.Errorf("Unresolved = %v, want [%d]", res.Unresolved, st)
+	}
+}
+
+func TestEliminateBottlenecksPartitionedStateful(t *testing.T) {
+	// Even key distribution over 100 keys: fission fully unblocks.
+	freq := make([]float64, 100)
+	for i := range freq {
+		freq[i] = 0.01
+	}
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	ps := topo.MustAddOperator(Operator{
+		Name: "ps", Kind: KindPartitionedStateful, ServiceTime: 0.0029,
+		Keys: &KeyDistribution{Freq: freq},
+	})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, ps, 1)
+	topo.MustConnect(ps, sink, 1)
+
+	res, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis.Replicas[ps] != 3 {
+		t.Errorf("replicas = %d, want 3", res.Analysis.Replicas[ps])
+	}
+	approx(t, "throughput", res.Analysis.Throughput(), 1000, 1)
+	if len(res.Unresolved) != 0 {
+		t.Errorf("Unresolved = %v, want empty", res.Unresolved)
+	}
+}
+
+func TestEliminateBottlenecksSkewedKeys(t *testing.T) {
+	// The paper's worked example: nopt = 3 but one key holds 50% of the
+	// items, so the bottleneck can be mitigated but not removed; the
+	// source rate is corrected against the most loaded replica.
+	freq := []float64{0.5, 0.25, 0.25}
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	ps := topo.MustAddOperator(Operator{
+		Name: "ps", Kind: KindPartitionedStateful, ServiceTime: 0.0025, // rho = 2.5, nopt = 3
+		Keys: &KeyDistribution{Freq: freq},
+	})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, ps, 1)
+	topo.MustConnect(ps, sink, 1)
+
+	res, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Analysis
+	// Greedy packs {0.5} and {0.25+0.25}: 2 usable replicas, pmax = 0.5.
+	if a.Replicas[ps] != 2 {
+		t.Errorf("replicas = %d, want 2", a.Replicas[ps])
+	}
+	approx(t, "pmax", a.PMax[ps], 0.5, 1e-12)
+	// Most loaded replica caps lambda at mu/pmax = 400/0.5 = 800/s.
+	approx(t, "throughput", a.Throughput(), 800, 1e-6)
+	if len(res.Unresolved) != 1 || res.Unresolved[0] != ps {
+		t.Errorf("Unresolved = %v, want [%d]", res.Unresolved, ps)
+	}
+}
+
+func TestEliminateBottlenecksBudget(t *testing.T) {
+	// Unbounded pass needs 10 replicas of the hot stage; cap the total.
+	topo, ids := mustPipeline(t, 0.001, 0.010, 0.0001)
+	unbounded, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Analysis.Replicas[ids[1]] != 10 {
+		t.Fatalf("unbounded replicas = %d, want 10", unbounded.Analysis.Replicas[ids[1]])
+	}
+	bounded, err := EliminateBottlenecks(topo, FissionOptions{MaxReplicas: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded.Capped {
+		t.Error("Capped = false, want true")
+	}
+	if bounded.TotalReplicas > 7 {
+		t.Errorf("TotalReplicas = %d, want <= 7", bounded.TotalReplicas)
+	}
+	// Proportional de-scaling: with 5 replicas of the hot stage the
+	// throughput is ~500/s.
+	got := bounded.Analysis.Throughput()
+	if got <= 0 || got > unbounded.Analysis.Throughput() {
+		t.Errorf("bounded throughput = %v, want in (0, %v]", got, unbounded.Analysis.Throughput())
+	}
+	wantReplicas := bounded.Analysis.Replicas[ids[1]]
+	approx(t, "throughput", got, 100*float64(wantReplicas), 1e-6)
+}
+
+func TestEliminateBottlenecksBudgetNotBinding(t *testing.T) {
+	topo, _ := mustPipeline(t, 0.001, 0.0035, 0.0001)
+	res, err := EliminateBottlenecks(topo, FissionOptions{MaxReplicas: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Error("Capped = true for a non-binding budget")
+	}
+	approx(t, "throughput", res.Analysis.Throughput(), 1000, 1e-6)
+}
+
+func TestEliminateBottlenecksEmitterCap(t *testing.T) {
+	// The emitter saturates at 2000/s; arrivals of 5000/s cannot be
+	// scheduled, so replication is capped rather than wasted.
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.0002}) // 5000/s
+	hot := topo.MustAddOperator(Operator{Name: "hot", Kind: KindStateless, ServiceTime: 0.002})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.00001})
+	topo.MustConnect(src, hot, 1)
+	topo.MustConnect(hot, sink, 1)
+
+	uncapped, err := EliminateBottlenecks(topo, FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncapped.Analysis.Replicas[hot] != 10 {
+		t.Fatalf("uncapped replicas = %d, want 10", uncapped.Analysis.Replicas[hot])
+	}
+	capped, err := EliminateBottlenecks(topo, FissionOptions{EmitterServiceTime: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := capped.Analysis.Replicas[hot]; got >= 10 || got < 1 {
+		t.Errorf("capped replicas = %d, want in [1, 10)", got)
+	}
+}
+
+func TestEliminateBottlenecksConsistentHashPartitioner(t *testing.T) {
+	freq := make([]float64, 64)
+	for i := range freq {
+		freq[i] = 1.0 / 64
+	}
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	ps := topo.MustAddOperator(Operator{
+		Name: "ps", Kind: KindPartitionedStateful, ServiceTime: 0.003,
+		Keys: &KeyDistribution{Freq: freq},
+	})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, ps, 1)
+	topo.MustConnect(ps, sink, 1)
+
+	res, err := EliminateBottlenecks(topo, FissionOptions{Partitioner: keypart.ConsistentHash{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis.Replicas[ps] < 2 {
+		t.Errorf("replicas = %d, want >= 2", res.Analysis.Replicas[ps])
+	}
+	// Hashing is load-oblivious; throughput improves but the uneven pmax
+	// may keep the operator saturated. Either way rho <= 1 afterwards.
+	if res.Analysis.Rho[ps] > 1+1e-9 {
+		t.Errorf("rho = %v, want <= 1", res.Analysis.Rho[ps])
+	}
+}
+
+// TestEliminateBottlenecksNeverWorse: fission must never predict lower
+// throughput than the unoptimized analysis, on random topologies.
+func TestEliminateBottlenecksNeverWorse(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed + 5000))
+		topo := randomDAG(rng, 16)
+		base, err := SteadyState(topo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := EliminateBottlenecks(topo, FissionOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Analysis.Throughput() < base.Throughput()*(1-1e-9) {
+			t.Fatalf("seed %d: fission lowered throughput %v -> %v",
+				seed, base.Throughput(), res.Analysis.Throughput())
+		}
+		for i, rho := range res.Analysis.Rho {
+			if rho > 1+1e-6 {
+				t.Fatalf("seed %d: rho[%d] = %v > 1 after fission", seed, i, rho)
+			}
+		}
+	}
+}
+
+func TestOptimalDegree(t *testing.T) {
+	tests := []struct {
+		rho  float64
+		want int
+	}{
+		{0.5, 1}, {1.0, 1}, {1.0000000001, 1}, {1.5, 2}, {2.0, 2}, {3.2, 4},
+	}
+	for _, tc := range tests {
+		if got := optimalDegree(tc.rho); got != tc.want {
+			t.Errorf("optimalDegree(%v) = %d, want %d", tc.rho, got, tc.want)
+		}
+	}
+}

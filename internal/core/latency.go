@@ -1,0 +1,111 @@
+package core
+
+// LatencyModel selects the queueing approximation used per operator.
+type LatencyModel int
+
+const (
+	// MM1 models each operator as an M/M/1 station: exponential service,
+	// Poisson-ish arrivals. Wq = rho/(mu - lambda). This matches the
+	// simulator's default exponential service law.
+	MM1 LatencyModel = iota + 1
+	// MD1 models deterministic service: Wq = rho / (2*mu*(1 - rho)),
+	// half the M/M/1 queueing delay.
+	MD1
+)
+
+// LatencyEstimate is the extension of the steady-state model to response
+// times: an open-queueing-network approximation layered on the
+// backpressure-corrected rates of Algorithm 1. The paper's models stop at
+// throughput; latency is the natural next output of the same analysis and
+// is validated against the simulator's measured waiting times.
+type LatencyEstimate struct {
+	// Wait is the predicted mean queueing delay per operator in seconds
+	// (time spent in the input buffer before service).
+	Wait []float64
+	// Sojourn is Wait plus the mean service time, per operator.
+	Sojourn []float64
+	// EndToEnd is the expected source-to-sink latency of one item: the
+	// path-probability-weighted sum of the sojourn times it traverses.
+	EndToEnd float64
+	// Saturated lists operators at utilization ~1, whose queueing delay
+	// is buffer-bound rather than load-bound: for them Wait reports the
+	// delay of a full buffer of the given capacity.
+	Saturated []OpID
+}
+
+// EstimateLatency predicts per-operator and end-to-end latencies from a
+// steady-state analysis. bufferCapacity bounds the delay of saturated
+// operators (a full bounded mailbox holds capacity items, so an arriving
+// item waits about capacity service times); it defaults to 64, matching
+// the runtime and simulator defaults.
+func EstimateLatency(t *Topology, a *Analysis, model LatencyModel, bufferCapacity int) (*LatencyEstimate, error) {
+	if a == nil {
+		var err error
+		a, err = SteadyState(t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if bufferCapacity <= 0 {
+		bufferCapacity = 64
+	}
+	if model == 0 {
+		model = MM1
+	}
+	est := &LatencyEstimate{
+		Wait:    make([]float64, t.Len()),
+		Sojourn: make([]float64, t.Len()),
+	}
+	for i := 0; i < t.Len(); i++ {
+		op := t.Op(OpID(i))
+		mu := op.Rate() * float64(maxInt(a.Replicas[i], 1))
+		lambda := a.Lambda[i]
+		rho := a.Rho[i]
+		service := op.ServiceTime
+		var wait float64
+		switch {
+		case op.Kind == KindSource:
+			wait = 0
+		case rho >= 1-rhoTolerance:
+			// Saturated: the bounded mailbox stays full; an arriving item
+			// waits for a full buffer to drain.
+			wait = float64(bufferCapacity) * service
+			est.Saturated = append(est.Saturated, OpID(i))
+		case model == MD1:
+			wait = rho / (2 * mu * (1 - rho))
+		default:
+			wait = rho / (mu - lambda)
+		}
+		est.Wait[i] = wait
+		est.Sojourn[i] = wait + service
+	}
+
+	// End-to-end: expected number of visits to each operator per source
+	// item (the fusion DP generalized to the whole graph), weighting each
+	// operator's sojourn.
+	order, err := t.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	visits := make([]float64, t.Len())
+	visits[t.Source()] = 1
+	for _, v := range order {
+		w := visits[v]
+		if w == 0 {
+			continue
+		}
+		est.EndToEnd += w * est.Sojourn[v]
+		out := w * t.Op(v).Gain()
+		for _, e := range t.Out(v) {
+			visits[e.To] += out * e.Prob
+		}
+	}
+	return est, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

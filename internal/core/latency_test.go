@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateLatencyMM1Formula(t *testing.T) {
+	// Single stage at rho = 0.5: Wq = rho/(mu - lambda) = 0.5/(1000-500).
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.002})  // 500/s
+	st := topo.MustAddOperator(Operator{Name: "st", Kind: KindStateless, ServiceTime: 0.001}) // 1000/s
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, st, 1)
+	topo.MustConnect(st, sink, 1)
+
+	est, err := EstimateLatency(topo, nil, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 / (1000 - 500)
+	approx(t, "Wq", est.Wait[st], want, 1e-12)
+	approx(t, "sojourn", est.Sojourn[st], want+0.001, 1e-12)
+	if est.Wait[src] != 0 {
+		t.Errorf("source wait = %v, want 0", est.Wait[src])
+	}
+	if len(est.Saturated) != 0 {
+		t.Errorf("saturated = %v, want none", est.Saturated)
+	}
+	// End-to-end covers all three sojourns once.
+	wantE2E := est.Sojourn[src] + est.Sojourn[st] + est.Sojourn[sink]
+	approx(t, "end-to-end", est.EndToEnd, wantE2E, 1e-12)
+}
+
+func TestEstimateLatencyMD1HalvesQueueing(t *testing.T) {
+	topo, _ := mustPipeline(t, 0.002, 0.001, 0.0001)
+	mm1, err := EstimateLatency(topo, nil, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, err := EstimateLatency(topo, nil, MD1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < topo.Len(); i++ {
+		if mm1.Wait[i] == 0 {
+			continue
+		}
+		ratio := md1.Wait[i] / mm1.Wait[i]
+		if math.Abs(ratio-0.5) > 1e-9 {
+			t.Errorf("op %d: MD1/MM1 wait ratio = %v, want 0.5", i, ratio)
+		}
+	}
+}
+
+func TestEstimateLatencySaturated(t *testing.T) {
+	// Bottleneck stage: rho = 1 after correction; wait is buffer-bound.
+	topo, ids := mustPipeline(t, 0.001, 0.004, 0.0001)
+	est, err := EstimateLatency(topo, nil, MM1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Saturated) != 1 || est.Saturated[0] != ids[1] {
+		t.Fatalf("saturated = %v, want [%d]", est.Saturated, ids[1])
+	}
+	approx(t, "saturated wait", est.Wait[ids[1]], 32*0.004, 1e-12)
+}
+
+func TestEstimateLatencyMonotoneInLoad(t *testing.T) {
+	// Raising the source rate (toward the bottleneck) must not lower any
+	// operator's predicted waiting time.
+	slow, _ := mustPipeline(t, 0.004, 0.001, 0.0001)
+	fast, _ := mustPipeline(t, 0.002, 0.001, 0.0001)
+	a, err := EstimateLatency(slow, nil, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateLatency(fast, nil, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if b.Wait[i] < a.Wait[i]-1e-12 {
+			t.Errorf("op %d: higher load lowered wait %v -> %v", i, a.Wait[i], b.Wait[i])
+		}
+	}
+}
+
+func TestEstimateLatencyReplicasReduceWait(t *testing.T) {
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	hot := topo.MustAddOperator(Operator{Name: "hot", Kind: KindStateless, ServiceTime: 0.0009})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, hot, 1)
+	topo.MustConnect(hot, sink, 1)
+
+	base, err := EstimateLatency(topo, nil, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withReps, err := SteadyStateWithReplicas(topo, []int{1, 2, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateLatency(topo, withReps, MM1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Wait[hot] >= base.Wait[hot] {
+		t.Errorf("replication did not reduce wait: %v -> %v", base.Wait[hot], est.Wait[hot])
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+// PaperExampleVariant selects one of the two service-time assignments used
+// in Section 5.4 of the paper for the six-operator fusion example.
+type PaperExampleVariant int
+
+const (
+	// PaperExampleTable1 is the fast variant (fusion is feasible and does
+	// not impair performance): mu^-1 = [1.0, 1.2, 0.7, 2.0, 1.5, 0.2] ms.
+	PaperExampleTable1 PaperExampleVariant = iota + 1
+	// PaperExampleTable2 is the slow variant (fusion introduces a
+	// bottleneck): mu^-1 = [1.0, 1.2, 1.5, 2.7, 2.2, 0.2] ms.
+	PaperExampleTable2
+)
+
+// PaperExampleTopology builds the six-operator topology of Figure 11 /
+// Tables 1-2. The edge probabilities are reverse-engineered from the
+// per-operator rates the tables report (see DESIGN.md): 1->2 (0.7),
+// 1->3 (0.3), 2->6, 3->4 (2/3), 3->5 (1/3), 4->5 (0.25), 4->6 (0.75),
+// 5->6. With these probabilities every delta and rho in both tables is
+// reproduced, as are the fused service times (2.78 vs the paper's 2.80 ms
+// and 4.40 vs 4.42 ms) and the predicted throughputs (1000 and ~758 vs 760
+// tuples/s).
+//
+// It also returns the IDs of operators 3, 4, 5 — the subgraph fused in the
+// paper's walk-through.
+func PaperExampleTopology(variant PaperExampleVariant) (*Topology, []OpID) {
+	ms := func(x float64) float64 { return x * 1e-3 }
+	times := []float64{ms(1.0), ms(1.2), ms(0.7), ms(2.0), ms(1.5), ms(0.2)}
+	if variant == PaperExampleTable2 {
+		times = []float64{ms(1.0), ms(1.2), ms(1.5), ms(2.7), ms(2.2), ms(0.2)}
+	}
+	t := NewTopology()
+	op1 := t.MustAddOperator(Operator{Name: "op1", Kind: KindSource, ServiceTime: times[0]})
+	op2 := t.MustAddOperator(Operator{Name: "op2", Kind: KindStateful, ServiceTime: times[1]})
+	op3 := t.MustAddOperator(Operator{Name: "op3", Kind: KindStateful, ServiceTime: times[2]})
+	op4 := t.MustAddOperator(Operator{Name: "op4", Kind: KindStateful, ServiceTime: times[3]})
+	op5 := t.MustAddOperator(Operator{Name: "op5", Kind: KindStateful, ServiceTime: times[4]})
+	op6 := t.MustAddOperator(Operator{Name: "op6", Kind: KindSink, ServiceTime: times[5]})
+	t.MustConnect(op1, op2, 0.7)
+	t.MustConnect(op1, op3, 0.3)
+	t.MustConnect(op2, op6, 1.0)
+	t.MustConnect(op3, op4, 2.0/3.0)
+	t.MustConnect(op3, op5, 1.0/3.0)
+	t.MustConnect(op4, op5, 0.25)
+	t.MustConnect(op4, op6, 0.75)
+	t.MustConnect(op5, op6, 1.0)
+	return t, []OpID{op3, op4, op5}
+}

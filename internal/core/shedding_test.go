@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSteadyStateSheddingPipeline(t *testing.T) {
+	// Source 1000/s into a 250/s stage: shedding drops 750/s there and the
+	// sink receives 250/s, while the source keeps running at full speed.
+	topo, ids := mustPipeline(t, 0.001, 0.004, 0.0001)
+	a, err := SteadyStateShedding(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "source rate", a.SourceRate, 1000, 1e-9)
+	approx(t, "dropped at stage", a.Dropped[ids[1]], 750, 1e-6)
+	approx(t, "sink rate", a.SinkRate, 250, 1e-6)
+	approx(t, "loss fraction", a.LossFraction, 0.75, 1e-9)
+}
+
+func TestSteadyStateSheddingNoBottleneck(t *testing.T) {
+	topo, _ := mustPipeline(t, 0.010, 0.002, 0.001)
+	a, err := SteadyStateShedding(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "loss", a.LossFraction, 0, 1e-12)
+	for i, d := range a.Dropped {
+		if d != 0 {
+			t.Errorf("op %d dropped %v without a bottleneck", i, d)
+		}
+	}
+}
+
+func TestSheddingVsBackpressureDelivery(t *testing.T) {
+	// Both semantics deliver the same surviving throughput on a simple
+	// chain (the bottleneck caps the flow either way); shedding just pays
+	// for it with discarded items while backpressure throttles upstream.
+	topo, _ := mustPipeline(t, 0.001, 0.004, 0.0001)
+	bp, err := SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := SteadyStateShedding(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "delivered", shed.SinkRate, bp.SinkRate, 1e-6)
+	if shed.SourceRate <= bp.SourceRate {
+		t.Errorf("shedding source %v should exceed throttled source %v",
+			shed.SourceRate, bp.SourceRate)
+	}
+}
+
+func TestSheddingDownstreamOfSplitCanBeatBackpressure(t *testing.T) {
+	// Where backpressure throttles the whole source because one branch is
+	// saturated, shedding keeps the other branch at full rate: delivered
+	// throughput can exceed the backpressure steady state, at the price
+	// of losses on the hot branch. This is the trade-off Section 2
+	// describes.
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 0.001})
+	hot := topo.MustAddOperator(Operator{Name: "hot", Kind: KindStateful, ServiceTime: 0.004})
+	cold := topo.MustAddOperator(Operator{Name: "cold", Kind: KindStateful, ServiceTime: 0.0005})
+	sink := topo.MustAddOperator(Operator{Name: "sink", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(src, hot, 0.5)
+	topo.MustConnect(src, cold, 0.5)
+	topo.MustConnect(hot, sink, 1)
+	topo.MustConnect(cold, sink, 1)
+
+	bp, err := SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := SteadyStateShedding(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shed.SinkRate <= bp.SinkRate {
+		t.Errorf("shedding delivered %v, backpressure %v; expected shedding to win on the split",
+			shed.SinkRate, bp.SinkRate)
+	}
+	if shed.LossFraction <= 0 {
+		t.Error("no loss reported despite a saturated branch")
+	}
+}
+
+// TestSheddingProperties on random DAGs: losses are non-negative, the
+// delivered rate never exceeds the loss-free flow, and with no saturated
+// operator the two semantics agree.
+func TestSheddingProperties(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed + 91000))
+		topo := randomDAG(rng, 16)
+		shed, err := SteadyStateShedding(topo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if shed.LossFraction < 0 || shed.LossFraction > 1 {
+			t.Fatalf("seed %d: loss fraction %v", seed, shed.LossFraction)
+		}
+		for i, d := range shed.Dropped {
+			if d < -1e-9 {
+				t.Fatalf("seed %d: negative drop at %d", seed, i)
+			}
+		}
+		bp, err := SteadyState(topo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bp.Bottlenecked() {
+			// No saturation: identical steady states.
+			if shed.LossFraction > 1e-9 {
+				t.Fatalf("seed %d: loss without bottleneck", seed)
+			}
+			for i := range shed.Delta {
+				if diff := shed.Delta[i] - bp.Delta[i]; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("seed %d: delta mismatch at %d", seed, i)
+				}
+			}
+		}
+	}
+}

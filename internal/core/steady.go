@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// rhoTolerance absorbs floating-point drift when deciding whether a vertex
+// is a bottleneck: after a source correction the re-visited vertex has
+// utilization exactly 1 in exact arithmetic.
+const rhoTolerance = 1e-9
+
+// Analysis is the result of the steady-state analysis (Algorithm 1) or of
+// the bottleneck-elimination pass (Algorithm 2): the input graph annotated
+// with per-operator steady-state figures. Slices are indexed by OpID.
+type Analysis struct {
+	// Lambda is the steady-state arrival rate per operator (items/s).
+	Lambda []float64
+	// Rho is the utilization factor per operator after backpressure has
+	// been accounted for; always <= 1 (within tolerance).
+	Rho []float64
+	// Delta is the steady-state departure rate per operator (items/s).
+	Delta []float64
+	// Replicas is the replication degree per operator; all ones for the
+	// plain steady-state analysis.
+	Replicas []int
+	// PMax is, for partitioned-stateful operators that were replicated,
+	// the fraction of input items routed to the most loaded replica; 0 for
+	// everything else.
+	PMax []float64
+	// Limiting lists the operators whose saturation forced a correction of
+	// the source departure rate (the surviving bottlenecks, ordered by
+	// discovery). Empty when the source itself limits throughput.
+	Limiting []OpID
+	// SourceRate is the corrected departure rate of the source: the rate
+	// at which the topology ingests items at steady state. The paper
+	// reports this as the topology's throughput.
+	SourceRate float64
+	// SinkRate is the total departure rate of the sink operators.
+	SinkRate float64
+	// Restarts counts how many times the traversal was restarted after a
+	// source correction; a measure of the algorithm's work.
+	Restarts int
+}
+
+// Throughput returns the topology throughput at steady state, defined as in
+// the paper: the source departure rate (items ingested per second).
+func (a *Analysis) Throughput() float64 { return a.SourceRate }
+
+// Bottlenecked reports whether any operator other than the source limits
+// the steady-state throughput.
+func (a *Analysis) Bottlenecked() bool { return len(a.Limiting) > 0 }
+
+// SteadyState runs Algorithm 1: it computes the steady-state departure rate
+// of every operator under Blocking-After-Service backpressure, correcting
+// the source departure rate by 1/rho each time a saturated operator is
+// discovered (Theorem 3.2). Selectivity parameters are honored as in
+// Section 3.4: an operator's departure rate is min(lambda, mu) scaled by
+// OutputSelectivity/InputSelectivity.
+//
+// The topology must satisfy Validate; the returned analysis has utilization
+// factors <= 1 everywhere (Invariant 3.1 at termination).
+func SteadyState(t *Topology) (*Analysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := t.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	a := newAnalysis(t.Len())
+	if err := a.propagate(t, order, nil); err != nil {
+		return nil, err
+	}
+	a.finish(t)
+	return a, nil
+}
+
+// SteadyStateFast computes the same steady-state figures as SteadyState in
+// two linear passes instead of Algorithm 1's restart-based traversal. At
+// the fixed point every non-limiting operator forwards its arrivals
+// unclamped, so arrival rates are linear in the source departure rate: one
+// demand pass with the source at full speed finds the binding constraint,
+// and a second pass evaluates the scaled solution. It exists as the
+// ablation counterpart of the paper's algorithm (see DESIGN.md); both
+// implementations must agree on every output.
+func SteadyStateFast(t *Topology) (*Analysis, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := t.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	src := order[0]
+	srcOp := t.Op(src)
+
+	// Demand pass: unit source departure rate, no capacity clamps.
+	demand := make([]float64, t.Len())
+	demand[src] = 1
+	factor := 1.0
+	var limiting []OpID
+	for _, v := range order[1:] {
+		lambda := 0.0
+		for _, e := range t.in[v] {
+			lambda += demand[e.From] * e.Prob
+		}
+		// Capacity constraint: delta1 * lambda <= mu_v.
+		if full := srcOp.Rate() * srcOp.Gain() * lambda; full > t.Op(v).Rate()*(1+rhoTolerance) {
+			f := t.Op(v).Rate() / full
+			switch {
+			case f < factor-rhoTolerance:
+				factor = f
+				limiting = []OpID{v}
+			case f <= factor+rhoTolerance:
+				limiting = append(limiting, v)
+			}
+		}
+		demand[v] = lambda * t.Op(v).Gain()
+	}
+
+	// Evaluation pass at the corrected source rate.
+	a := newAnalysis(t.Len())
+	delta1 := srcOp.Rate() * srcOp.Gain() * factor
+	a.Delta[src] = delta1
+	a.Rho[src] = factor
+	a.Lambda[src] = delta1 / srcOp.Gain()
+	for _, v := range order[1:] {
+		lambda := 0.0
+		for _, e := range t.in[v] {
+			lambda += a.Delta[e.From] * e.Prob
+		}
+		a.Lambda[v] = lambda
+		mu := t.Op(v).Rate()
+		a.Rho[v] = lambda / mu
+		a.Delta[v] = math.Min(lambda, mu) * t.Op(v).Gain()
+	}
+	a.Limiting = limiting
+	a.finish(t)
+	return a, nil
+}
+
+func newAnalysis(n int) *Analysis {
+	a := &Analysis{
+		Lambda:   make([]float64, n),
+		Rho:      make([]float64, n),
+		Delta:    make([]float64, n),
+		Replicas: make([]int, n),
+		PMax:     make([]float64, n),
+	}
+	for i := range a.Replicas {
+		a.Replicas[i] = 1
+	}
+	return a
+}
+
+// capacity returns the effective service rate of vertex v given its
+// replication degree and, for partitioned-stateful operators, the load skew
+// of the most loaded replica: saturation occurs when the most loaded
+// replica saturates.
+func (a *Analysis) capacity(t *Topology, v OpID) float64 {
+	op := t.Op(v)
+	mu := op.Rate()
+	n := a.Replicas[v]
+	if n <= 1 {
+		return mu
+	}
+	if op.Kind == KindPartitionedStateful && a.PMax[v] > 0 {
+		// The most loaded replica receives fraction pmax of the input;
+		// it saturates when lambda*pmax = mu.
+		return mu / a.PMax[v]
+	}
+	return mu * float64(n)
+}
+
+// propagate performs the ordered traversal with source-rate corrections.
+// If onBottleneck is non-nil it is invoked when a saturated vertex is
+// discovered and may resolve it (by raising the vertex's capacity through
+// a.Replicas/a.PMax, returning true); otherwise the source rate is lowered
+// per Theorem 3.2 and the traversal restarts. This shared core implements
+// both Algorithm 1 (onBottleneck nil) and Algorithm 2.
+func (a *Analysis) propagate(t *Topology, order []OpID, onBottleneck func(v OpID, lambda float64) bool) error {
+	src := order[0]
+	srcOp := t.Op(src)
+	a.Delta[src] = srcOp.Rate() * srcOp.Gain()
+	a.Rho[src] = 1
+	a.Lambda[src] = srcOp.Rate()
+	a.Limiting = a.Limiting[:0]
+	a.Restarts = 0
+	// Each source correction permanently pins one vertex at utilization 1,
+	// so at most |V| restarts occur; guard against float pathologies.
+	maxRestarts := t.Len() + 1
+
+	delta1 := a.Delta[src]
+	for i := 1; i < len(order); {
+		v := order[i]
+		lambda := 0.0
+		for _, e := range t.in[v] {
+			lambda += a.Delta[e.From] * e.Prob
+		}
+		a.Lambda[v] = lambda
+		cap := a.capacity(t, v)
+		rho := lambda / cap
+		if rho <= 1+rhoTolerance {
+			a.Rho[v] = rho
+			a.Delta[v] = math.Min(lambda, cap) * t.Op(v).Gain()
+			i++
+			continue
+		}
+		if onBottleneck != nil && onBottleneck(v, lambda) {
+			// Capacity was raised (fission); re-evaluate the same vertex.
+			continue
+		}
+		// Theorem 3.2: lower the source departure rate by 1/rho and
+		// restart the traversal from the beginning.
+		a.Restarts++
+		if a.Restarts > maxRestarts {
+			return fmt.Errorf("steady state: correction did not converge after %d restarts", a.Restarts)
+		}
+		delta1 /= rho
+		a.Delta[src] = delta1
+		a.Rho[src] = delta1 / (srcOp.Rate() * srcOp.Gain())
+		a.Lambda[src] = delta1 / srcOp.Gain()
+		a.noteLimiting(v)
+		i = 1
+	}
+	return nil
+}
+
+func (a *Analysis) noteLimiting(v OpID) {
+	for _, x := range a.Limiting {
+		if x == v {
+			return
+		}
+	}
+	a.Limiting = append(a.Limiting, v)
+}
+
+func (a *Analysis) finish(t *Topology) {
+	src := t.Source()
+	a.SourceRate = a.Delta[src]
+	a.SinkRate = 0
+	for _, s := range t.Sinks() {
+		a.SinkRate += a.Delta[s]
+	}
+}

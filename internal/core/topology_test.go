@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustPipeline(t *testing.T, times ...float64) (*Topology, []OpID) {
+	t.Helper()
+	topo := NewTopology()
+	ids := make([]OpID, len(times))
+	for i, st := range times {
+		kind := KindStateless
+		switch i {
+		case 0:
+			kind = KindSource
+		case len(times) - 1:
+			kind = KindSink
+		}
+		ids[i] = topo.MustAddOperator(Operator{
+			Name:        "op" + string(rune('A'+i)),
+			Kind:        kind,
+			ServiceTime: st,
+		})
+		if i > 0 {
+			topo.MustConnect(ids[i-1], ids[i], 1.0)
+		}
+	}
+	return topo, ids
+}
+
+func TestAddOperatorErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Operator
+	}{
+		{"empty name", Operator{Kind: KindStateless, ServiceTime: 1}},
+		{"zero service time", Operator{Name: "x", Kind: KindStateless}},
+		{"negative service time", Operator{Name: "x", Kind: KindStateless, ServiceTime: -1}},
+		{"invalid kind", Operator{Name: "x", ServiceTime: 1}},
+		{"partitioned without keys", Operator{Name: "x", Kind: KindPartitionedStateful, ServiceTime: 1}},
+		{"partitioned bad keys", Operator{Name: "x", Kind: KindPartitionedStateful, ServiceTime: 1,
+			Keys: &KeyDistribution{Freq: []float64{0.5, 0.4}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			topo := NewTopology()
+			if _, err := topo.AddOperator(tc.op); err == nil {
+				t.Fatalf("AddOperator(%+v) succeeded, want error", tc.op)
+			}
+		})
+	}
+}
+
+func TestAddOperatorDuplicateName(t *testing.T) {
+	topo := NewTopology()
+	topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+	if _, err := topo.AddOperator(Operator{Name: "a", Kind: KindSink, ServiceTime: 1}); err == nil {
+		t.Fatal("duplicate operator name accepted")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	topo := NewTopology()
+	a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+	b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSink, ServiceTime: 1})
+	if err := topo.Connect(a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := topo.Connect(a, b, 0); err == nil {
+		t.Error("zero probability accepted")
+	}
+	if err := topo.Connect(a, b, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := topo.Connect(a, OpID(99), 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	topo.MustConnect(a, b, 1)
+	if err := topo.Connect(a, b, 0.5); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	topo, _ := mustPipeline(t, 0.001, 0.002, 0.001)
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if err := NewTopology().Validate(); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("got %v, want ErrEmpty", err)
+		}
+	})
+	t.Run("multiple sources", func(t *testing.T) {
+		topo := NewTopology()
+		a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+		b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSource, ServiceTime: 1})
+		c := topo.MustAddOperator(Operator{Name: "c", Kind: KindSink, ServiceTime: 1})
+		topo.MustConnect(a, c, 1)
+		topo.MustConnect(b, c, 1)
+		if err := topo.Validate(); !errors.Is(err, ErrMultipleSources) {
+			t.Fatalf("got %v, want ErrMultipleSources", err)
+		}
+	})
+	t.Run("root not a source kind", func(t *testing.T) {
+		topo := NewTopology()
+		a := topo.MustAddOperator(Operator{Name: "a", Kind: KindStateless, ServiceTime: 1})
+		b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSink, ServiceTime: 1})
+		topo.MustConnect(a, b, 1)
+		if err := topo.Validate(); !errors.Is(err, ErrBadKind) {
+			t.Fatalf("got %v, want ErrBadKind", err)
+		}
+	})
+	t.Run("bad probability sum", func(t *testing.T) {
+		topo := NewTopology()
+		a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+		b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSink, ServiceTime: 1})
+		c := topo.MustAddOperator(Operator{Name: "c", Kind: KindSink, ServiceTime: 1})
+		topo.MustConnect(a, b, 0.5)
+		topo.MustConnect(a, c, 0.3)
+		if err := topo.Validate(); !errors.Is(err, ErrBadProbability) {
+			t.Fatalf("got %v, want ErrBadProbability", err)
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		topo := NewTopology()
+		a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 1})
+		b := topo.MustAddOperator(Operator{Name: "b", Kind: KindStateless, ServiceTime: 1})
+		c := topo.MustAddOperator(Operator{Name: "c", Kind: KindStateless, ServiceTime: 1})
+		topo.MustConnect(a, b, 1)
+		topo.MustConnect(b, c, 1)
+		topo.MustConnect(c, b, 1)
+		if err := topo.Validate(); !errors.Is(err, ErrCyclic) {
+			t.Fatalf("got %v, want ErrCyclic", err)
+		}
+	})
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	topo, ids := PaperExampleTopology(PaperExampleTable1)
+	order, err := topo.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != topo.Len() {
+		t.Fatalf("order has %d vertices, want %d", len(order), topo.Len())
+	}
+	pos := make(map[OpID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i := 0; i < topo.Len(); i++ {
+		for _, e := range topo.Out(OpID(i)) {
+			if pos[e.From] >= pos[e.To] {
+				t.Errorf("edge %d->%d violates topological order", e.From, e.To)
+			}
+		}
+	}
+	_ = ids
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	topo := NewTopology()
+	src := topo.MustAddOperator(Operator{Name: "src", Kind: KindSource, ServiceTime: 1})
+	ps := topo.MustAddOperator(Operator{
+		Name: "ps", Kind: KindPartitionedStateful, ServiceTime: 1,
+		Keys: &KeyDistribution{Freq: []float64{0.5, 0.5}},
+	})
+	topo.MustConnect(src, ps, 1)
+
+	c := topo.Clone()
+	c.Op(ps).Keys.Freq[0] = 0.9
+	c.Op(src).ServiceTime = 42
+	if topo.Op(ps).Keys.Freq[0] != 0.5 {
+		t.Error("clone shares key distribution with original")
+	}
+	if topo.Op(src).ServiceTime != 1 {
+		t.Error("clone shares operator storage with original")
+	}
+	if err := c.Connect(src, ps, 0.5); err == nil {
+		t.Error("clone allowed duplicate edge; adjacency not copied correctly")
+	}
+	if topo.NumEdges() != 1 || c.NumEdges() != 1 {
+		t.Errorf("edges: original %d, clone %d, want 1 and 1", topo.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestLookupAndAccessors(t *testing.T) {
+	topo, ids := mustPipeline(t, 1, 2, 3)
+	id, ok := topo.Lookup("opB")
+	if !ok || id != ids[1] {
+		t.Fatalf("Lookup(opB) = %v, %v", id, ok)
+	}
+	if _, ok := topo.Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+	if got := topo.Op(ids[1]).Rate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Rate() = %v, want 0.5", got)
+	}
+	if got := len(topo.Sinks()); got != 1 {
+		t.Errorf("Sinks() len = %d, want 1", got)
+	}
+	if got := len(topo.Sources()); got != 1 {
+		t.Errorf("Sources() len = %d, want 1", got)
+	}
+	if topo.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestGainDefaults(t *testing.T) {
+	op := Operator{}
+	if op.Gain() != 1 {
+		t.Errorf("zero-value Gain() = %v, want 1", op.Gain())
+	}
+	op = Operator{InputSelectivity: 4, OutputSelectivity: 2}
+	if op.Gain() != 0.5 {
+		t.Errorf("Gain() = %v, want 0.5", op.Gain())
+	}
+}
+
+func TestAddFictitiousSource(t *testing.T) {
+	topo := NewTopology()
+	a := topo.MustAddOperator(Operator{Name: "a", Kind: KindSource, ServiceTime: 0.001}) // 1000/s
+	b := topo.MustAddOperator(Operator{Name: "b", Kind: KindSource, ServiceTime: 0.004}) // 250/s
+	c := topo.MustAddOperator(Operator{Name: "c", Kind: KindSink, ServiceTime: 0.0001})
+	topo.MustConnect(a, c, 1)
+	topo.MustConnect(b, c, 1)
+
+	src, err := topo.AddFictitiousSource("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate after transform: %v", err)
+	}
+	if got := topo.Op(src).Rate(); math.Abs(got-1250) > 1e-6 {
+		t.Errorf("fictitious source rate = %v, want 1250", got)
+	}
+	a2, err := SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-root arrival rates must be preserved: a sees 1000/s, b 250/s.
+	if math.Abs(a2.Lambda[a]-1000) > 1e-6 || math.Abs(a2.Lambda[b]-250) > 1e-6 {
+		t.Errorf("root arrival rates = %v, %v, want 1000, 250", a2.Lambda[a], a2.Lambda[b])
+	}
+	// Transform on a single-source topology must fail.
+	single, _ := mustPipeline(t, 1, 1)
+	if _, err := single.AddFictitiousSource("x"); err == nil {
+		t.Error("AddFictitiousSource on single-source topology succeeded")
+	}
+}

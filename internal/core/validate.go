@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Validation errors. Callers can match them with errors.Is after Validate
+// wraps them with positional context.
+var (
+	// ErrEmpty reports a topology with no operators.
+	ErrEmpty = errors.New("topology is empty")
+	// ErrCyclic reports that the graph contains a directed cycle; the cost
+	// models require acyclic topologies.
+	ErrCyclic = errors.New("topology has a cycle")
+	// ErrNoSource reports that no vertex lacks input edges.
+	ErrNoSource = errors.New("topology has no source")
+	// ErrMultipleSources reports more than one root; use
+	// AddFictitiousSource to analyze multi-source graphs.
+	ErrMultipleSources = errors.New("topology has multiple sources")
+	// ErrUnreachable reports vertices not reachable from the source,
+	// violating the flow-graph assumption.
+	ErrUnreachable = errors.New("vertex unreachable from source")
+	// ErrBadProbability reports output edge probabilities that do not sum
+	// to 1 for a vertex with outputs.
+	ErrBadProbability = errors.New("output probabilities do not sum to 1")
+	// ErrBadKind reports a kind inconsistent with the graph position, such
+	// as a non-source root or a source with input edges.
+	ErrBadKind = errors.New("operator kind inconsistent with topology position")
+)
+
+// Validate checks the structural assumptions the SpinStreams cost models
+// rely on (Section 3.1): the graph is non-empty, rooted at a single source,
+// acyclic, every vertex is reachable from the source, and the probabilities
+// of each vertex's output edges sum to one.
+func (t *Topology) Validate() error {
+	if t.Len() == 0 {
+		return ErrEmpty
+	}
+	srcs := t.Sources()
+	switch {
+	case len(srcs) == 0:
+		return ErrNoSource
+	case len(srcs) > 1:
+		names := make([]string, len(srcs))
+		for i, s := range srcs {
+			names[i] = t.ops[s].Name
+		}
+		return fmt.Errorf("%w: %v", ErrMultipleSources, names)
+	}
+	src := srcs[0]
+	if t.ops[src].Kind != KindSource {
+		return fmt.Errorf("%w: root %q has kind %s, want source", ErrBadKind, t.ops[src].Name, t.ops[src].Kind)
+	}
+	for i, op := range t.ops {
+		if op.Kind == KindSource && OpID(i) != src {
+			return fmt.Errorf("%w: %q is a source but has input edges", ErrBadKind, op.Name)
+		}
+		if op.Kind == KindSink && len(t.out[i]) > 0 {
+			return fmt.Errorf("%w: %q is a sink but has output edges", ErrBadKind, op.Name)
+		}
+	}
+	if _, err := t.TopologicalOrder(); err != nil {
+		return err
+	}
+	// Reachability from the source.
+	seen := make([]bool, t.Len())
+	stack := []OpID{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.out[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnreachable, t.ops[i].Name)
+		}
+	}
+	// Probability conservation on output edges.
+	for i := range t.ops {
+		if len(t.out[i]) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, e := range t.out[i] {
+			sum += e.Prob
+		}
+		if math.Abs(sum-1) > probTolerance {
+			return fmt.Errorf("%w: %q outputs sum to %v", ErrBadProbability, t.ops[i].Name, sum)
+		}
+	}
+	return nil
+}
+
+// Source returns the unique source vertex. It assumes the topology has been
+// validated; on malformed graphs it returns the first root or -1.
+func (t *Topology) Source() OpID {
+	srcs := t.Sources()
+	if len(srcs) == 0 {
+		return -1
+	}
+	return srcs[0]
+}
+
+// AddFictitiousSource converts a multi-source topology into a rooted one by
+// inserting a zero-cost fan-out vertex ahead of all current roots, as
+// suggested in Section 3.1 of the paper. Each original root keeps producing
+// at its own service rate: the fictitious source's rate is the sum of the
+// root rates and its output probabilities are proportional to them, so the
+// per-root arrival rates are preserved. Original roots are re-labeled as
+// stateful pass-through operators (they cannot be replicated).
+//
+// The transform returns the ID of the inserted source. Calling it on a
+// topology that already has a single source is an error.
+func (t *Topology) AddFictitiousSource(name string) (OpID, error) {
+	roots := t.Sources()
+	if len(roots) < 2 {
+		return -1, fmt.Errorf("fictitious source: topology has %d roots, need >= 2", len(roots))
+	}
+	total := 0.0
+	for _, r := range roots {
+		total += t.ops[r].Rate()
+	}
+	if total <= 0 {
+		return -1, errors.New("fictitious source: roots have zero total rate")
+	}
+	src, err := t.AddOperator(Operator{
+		Name:        name,
+		Kind:        KindSource,
+		ServiceTime: 1 / total,
+	})
+	if err != nil {
+		return -1, err
+	}
+	for _, r := range roots {
+		if t.ops[r].Kind == KindSource {
+			t.ops[r].Kind = KindStateful
+		}
+		if err := t.Connect(src, r, t.ops[r].Rate()/total); err != nil {
+			return -1, err
+		}
+	}
+	return src, nil
+}

@@ -1,0 +1,97 @@
+// Package dot renders topologies and analyses as Graphviz DOT documents —
+// the textual stand-in for the SpinStreams GUI's topology view: operators
+// are nodes colored by utilization and annotated with service times,
+// replication degrees and kinds; streams are edges labeled with routing
+// probabilities.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spinstreams/internal/core"
+)
+
+// Options tunes rendering.
+type Options struct {
+	// Name is the graph title.
+	Name string
+	// Analysis, when non-nil, colors nodes by utilization and annotates
+	// rates and replication degrees.
+	Analysis *core.Analysis
+	// RankLR lays the graph out left-to-right (the usual orientation for
+	// pipelines); default is top-to-bottom.
+	RankLR bool
+}
+
+// Write renders t as a DOT digraph.
+func Write(w io.Writer, t *core.Topology, opts Options) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	name := opts.Name
+	if name == "" {
+		name = "topology"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	if opts.RankLR {
+		b.WriteString("  rankdir=LR;\n")
+	}
+	b.WriteString("  node [shape=box, style=\"rounded,filled\", fontname=\"Helvetica\"];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")
+	for i := 0; i < t.Len(); i++ {
+		id := core.OpID(i)
+		op := t.Op(id)
+		label := fmt.Sprintf("%s\\n%s, T=%s", op.Name, op.Kind, formatServiceTime(op.ServiceTime))
+		if op.Gain() != 1 {
+			label += fmt.Sprintf("\\ngain=%.3g", op.Gain())
+		}
+		fill := "#eeeeee"
+		if a := opts.Analysis; a != nil {
+			label += fmt.Sprintf("\\nrho=%.2f, out=%.1f/s", a.Rho[i], a.Delta[i])
+			if a.Replicas[i] > 1 {
+				label += fmt.Sprintf("\\nx%d replicas", a.Replicas[i])
+			}
+			fill = heat(a.Rho[i])
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", fillcolor=\"%s\"];\n", i, label, fill)
+	}
+	for i := 0; i < t.Len(); i++ {
+		for _, e := range t.Out(core.OpID(i)) {
+			if e.Prob == 1 {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Prob)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// heat maps a utilization factor to a white->red fill color.
+func heat(rho float64) string {
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	// Blend from near-white (low) to red (saturated).
+	g := int(230 - 160*rho)
+	return fmt.Sprintf("#ff%02x%02x", g, g)
+}
+
+func formatServiceTime(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gus", s*1e6)
+	}
+}

@@ -1,0 +1,95 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+)
+
+func TestWritePlain(t *testing.T) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	var buf bytes.Buffer
+	if err := Write(&buf, topo, Options{Name: "paper", RankLR: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"paper\"", "rankdir=LR", "op1", "op6",
+		"n0 -> n1 [label=\"0.7\"]", "n1 -> n5;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestWriteWithAnalysis(t *testing.T) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable2)
+	a, err := core.SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, topo, Options{Analysis: a}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rho=") || !strings.Contains(out, "out=") {
+		t.Errorf("analysis annotations missing:\n%s", out)
+	}
+}
+
+func TestWriteWithReplicas(t *testing.T) {
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "s", Kind: core.KindSource, ServiceTime: 0.001})
+	hot := topo.MustAddOperator(core.Operator{Name: "h", Kind: core.KindStateless, ServiceTime: 0.004})
+	topo.MustConnect(src, hot, 1)
+	res, err := core.EliminateBottlenecks(topo, core.FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, topo, Options{Analysis: res.Analysis}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x4 replicas") {
+		t.Errorf("replica annotation missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteInvalid(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, core.NewTopology(), Options{}); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+func TestHeatBounds(t *testing.T) {
+	for _, rho := range []float64{-1, 0, 0.5, 1, 2} {
+		c := heat(rho)
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("heat(%v) = %q", rho, c)
+		}
+	}
+	if heat(0) == heat(1) {
+		t.Error("heat not varying with utilization")
+	}
+}
+
+func TestFormatServiceTime(t *testing.T) {
+	tests := map[float64]string{
+		2:       "2s",
+		0.005:   "5ms",
+		0.00025: "250us",
+	}
+	for in, want := range tests {
+		if got := formatServiceTime(in); got != want {
+			t.Errorf("formatServiceTime(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

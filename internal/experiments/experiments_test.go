@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/qsim"
+)
+
+// quickSetup keeps test runs fast: a small testbed with a short horizon.
+func quickSetup() Setup {
+	return Setup{
+		Seed:       42,
+		Topologies: 8,
+		Sim:        qsim.Config{Horizon: 15},
+	}
+}
+
+func TestFig7(t *testing.T) {
+	res, err := Fig7(quickSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	// Shape check: the model's mean error is small (paper: < 3%; allow
+	// slack for the short horizon).
+	if res.ErrStat.Mean > 0.12 {
+		t.Errorf("mean error %.3f too high", res.ErrStat.Mean)
+	}
+	for _, row := range res.Rows {
+		if row.Predicted <= 0 || row.Measured <= 0 {
+			t.Errorf("topology %d: non-positive rates %+v", row.Topology, row)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res, err := Fig8(quickSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operators < 16 {
+		t.Fatalf("operators = %d, want many", res.Operators)
+	}
+	if res.ErrStat.Mean > 0.20 {
+		t.Errorf("mean per-operator error %.3f too high", res.ErrStat.Mean)
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	res, err := Fig9(quickSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The optimizer must reach the ideal throughput on most topologies;
+	// the rest must be explained by stateful bottlenecks.
+	for _, row := range res.Rows {
+		if !row.Ideal && !row.StatefulBlocked && !row.SkewBlocked {
+			t.Errorf("topology %d neither ideal nor blocked: %+v", row.Topology, row)
+		}
+		if row.Predicted < 0.99*mustBaseThroughput(t, row.Topology) {
+			// Fission never lowers throughput; sanity only.
+			t.Errorf("topology %d: suspicious predicted %v", row.Topology, row.Predicted)
+		}
+	}
+	if res.Ideal == 0 {
+		t.Error("no topology reached ideal throughput")
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Error("String() missing header")
+	}
+}
+
+// mustBaseThroughput recomputes the non-optimized predicted throughput of
+// testbed entry i for the quick setup.
+func mustBaseThroughput(t *testing.T, topology1Based int) float64 {
+	t.Helper()
+	s := quickSetup().withDefaults()
+	bed, err := buildTestbed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.SteadyState(bed[topology1Based-1].Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Throughput()
+}
+
+func TestFig10(t *testing.T) {
+	s := quickSetup()
+	s.Topologies = 25 // enough candidates needing > 40 replicas
+	res, err := Fig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Proportional de-scaling: within a topology, larger bounds give
+	// predicted throughput at least as high.
+	byTopo := map[int][]Fig10Row{}
+	for _, row := range res.Rows {
+		byTopo[row.Topology] = append(byTopo[row.Topology], row)
+	}
+	for topo, rows := range byTopo {
+		var orig, b30, unbounded *Fig10Row
+		for i := range rows {
+			switch rows[i].Bound {
+			case 0:
+				orig = &rows[i]
+			case 30:
+				b30 = &rows[i]
+			case -1:
+				unbounded = &rows[i]
+			}
+		}
+		if orig == nil || b30 == nil || unbounded == nil {
+			t.Fatalf("topology %d missing rows", topo)
+		}
+		if b30.Predicted < orig.Predicted*(1-1e-9) {
+			t.Errorf("topology %d: bound 30 predicted %v below original %v", topo, b30.Predicted, orig.Predicted)
+		}
+		if unbounded.Predicted < b30.Predicted*(1-1e-9) {
+			t.Errorf("topology %d: unbounded predicted %v below bound 30 %v", topo, unbounded.Predicted, b30.Predicted)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table(quickSetup(), core.PaperExampleTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntroducesBottleneck {
+		t.Error("Table 1 flagged as bottleneck")
+	}
+	// Fused service time ~2.78 ms (paper: 2.80).
+	if res.FusedServiceMs < 2.7 || res.FusedServiceMs > 2.9 {
+		t.Errorf("fused service time = %v ms", res.FusedServiceMs)
+	}
+	if res.PredictedBefore != res.PredictedAfter {
+		t.Errorf("Table 1 predicted throughput changed: %v -> %v",
+			res.PredictedBefore, res.PredictedAfter)
+	}
+	out := res.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "after fusion") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	res, err := Table(quickSetup(), core.PaperExampleTable2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IntroducesBottleneck {
+		t.Error("Table 2 not flagged as bottleneck")
+	}
+	if res.FusedServiceMs < 4.3 || res.FusedServiceMs > 4.5 {
+		t.Errorf("fused service time = %v ms (paper: 4.42)", res.FusedServiceMs)
+	}
+	// ~24% degradation predicted and measured (paper: 20%).
+	if res.PredictedAfter >= res.PredictedBefore {
+		t.Error("no predicted degradation")
+	}
+	if res.MeasuredAfter >= res.MeasuredBefore {
+		t.Error("no measured degradation")
+	}
+}
+
+func TestKeyPartitioningAblation(t *testing.T) {
+	res, err := KeyPartitioningAblation(100, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.GreedyPMax > row.HashPMax+1e-9 {
+			t.Errorf("zipf %v: greedy pmax %v worse than hashing %v",
+				row.ZipfExp, row.GreedyPMax, row.HashPMax)
+		}
+	}
+	if !strings.Contains(res.String(), "key partitioning") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestBufferSizeAblation(t *testing.T) {
+	res, err := BufferSizeAblation(quickSetup(), []int{2, 16, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatal("wrong row count")
+	}
+	// Large mailboxes track the prediction closely.
+	last := res.Rows[len(res.Rows)-1]
+	if last.RelErr > 0.08 {
+		t.Errorf("capacity %d error %.3f too high", last.Capacity, last.RelErr)
+	}
+	if !strings.Contains(res.String(), "mailbox capacity") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestLatencyExperiment(t *testing.T) {
+	res, err := Latency(quickSetup(), []float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Waiting time grows with load.
+	if res.Rows[1].MeasuredWait <= res.Rows[0].MeasuredWait {
+		t.Errorf("wait did not grow with load: %v -> %v",
+			res.Rows[0].MeasuredWait, res.Rows[1].MeasuredWait)
+	}
+	// Loose agreement with the M/M/1 prediction.
+	for _, row := range res.Rows {
+		if row.RelErr > 0.6 {
+			t.Errorf("rho %v: latency error %.2f too high", row.Rho, row.RelErr)
+		}
+	}
+	// Saturated wait tracks the buffer-bound estimate within 2x.
+	ratio := res.SaturatedMeasuredWait / res.SaturatedPredictedWait
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("saturated wait ratio = %v", ratio)
+	}
+	if !strings.Contains(res.String(), "Latency extension") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestFig7Live(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run takes wall-clock time")
+	}
+	res, err := Fig7Live(context.Background(), quickSetup(), LiveOptions{
+		Topologies: 2,
+		Duration:   1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.ErrStat.Mean > 0.30 {
+		t.Errorf("live mean error %.3f too high", res.ErrStat.Mean)
+	}
+	if !strings.Contains(res.String(), "live runtime") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	res, err := Fig7(quickSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Rows)+1 {
+		t.Fatalf("csv has %d lines, want %d", len(lines), len(res.Rows)+1)
+	}
+	if lines[0] != "topology,operators,predicted,measured,rel_err" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Every tabular result exports a consistent table.
+	tables := []Tabular{res}
+	if t8, err := Fig8(quickSetup()); err == nil {
+		tables = append(tables, t8)
+	}
+	if kp, err := KeyPartitioningAblation(50, 4, nil); err == nil {
+		tables = append(tables, kp)
+	}
+	if tb, err := Table(quickSetup(), core.PaperExampleTable1); err == nil {
+		tables = append(tables, tb)
+	}
+	for i, tab := range tables {
+		cols := len(tab.Header())
+		for _, row := range tab.TableRows() {
+			if len(row) != cols {
+				t.Errorf("table %d: row width %d, header %d", i, len(row), cols)
+			}
+		}
+	}
+}
+
+func TestElasticity(t *testing.T) {
+	s := quickSetup()
+	res, err := Elasticity(s, ElasticityOptions{Interval: 6, MaxRounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no reactive rounds recorded")
+	}
+	// The reactive controller needs at least one reconfiguration on a
+	// bottlenecked topology, while static needs none by construction.
+	if res.Reconfigurations == 0 {
+		t.Error("reactive controller converged without scaling a bottlenecked topology")
+	}
+	// Reactive converges to (at most) the static throughput.
+	if res.ElasticThroughput > res.StaticThroughput*1.15 {
+		t.Errorf("reactive %.1f exceeds static %.1f beyond noise",
+			res.ElasticThroughput, res.StaticThroughput)
+	}
+	// Reactive throughput is non-decreasing over rounds (monotone
+	// scale-up), within simulation noise.
+	for i := 1; i < len(res.Steps); i++ {
+		if res.Steps[i].Throughput < res.Steps[i-1].Throughput*0.85 {
+			t.Errorf("round %d throughput dropped: %.1f -> %.1f",
+				i, res.Steps[i-1].Throughput, res.Steps[i].Throughput)
+		}
+	}
+	if !strings.Contains(res.String(), "reactive") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestShedding(t *testing.T) {
+	res, err := Shedding(quickSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.PredictedLoss < 0 || row.PredictedLoss > 1 {
+			t.Errorf("topology %d: predicted loss %v", row.Topology, row.PredictedLoss)
+		}
+		// Shedding never delivers less than a trickle, and on bottlenecked
+		// topologies it loses data where backpressure does not.
+		if row.SheddingDelivered <= 0 {
+			t.Errorf("topology %d: no delivery under shedding", row.Topology)
+		}
+	}
+	// The loss model tracks the simulation.
+	if res.LossErrStat.Mean > 0.08 {
+		t.Errorf("mean loss error %.3f too high", res.LossErrStat.Mean)
+	}
+	if !strings.Contains(res.String(), "load shedding") {
+		t.Error("String() incomplete")
+	}
+}

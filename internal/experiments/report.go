@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Tabular is implemented by experiment results that can export their data
+// series as a table, for CSV output and downstream plotting.
+type Tabular interface {
+	// Header returns the column names.
+	Header() []string
+	// TableRows returns the data rows, stringified.
+	TableRows() [][]string
+}
+
+// WriteCSV exports any tabular result.
+func WriteCSV(w io.Writer, t Tabular) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header()); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	if err := cw.WriteAll(t.TableRows()); err != nil {
+		return fmt.Errorf("csv: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+func d(x int) string     { return strconv.Itoa(x) }
+
+// Header implements Tabular.
+func (r *Fig7Result) Header() []string {
+	return []string{"topology", "operators", "predicted", "measured", "rel_err"}
+}
+
+// TableRows implements Tabular.
+func (r *Fig7Result) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			d(row.Topology), d(row.Operators), f(row.Predicted), f(row.Measured), f(row.RelErr),
+		})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *Fig8Result) Header() []string { return []string{"operator", "rel_err"} }
+
+// TableRows implements Tabular.
+func (r *Fig8Result) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Errors))
+	for i, e := range r.Errors {
+		rows = append(rows, []string{d(i + 1), f(e)})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *Fig9Result) Header() []string {
+	return []string{"topology", "operators", "additional_replicas", "predicted", "measured",
+		"rel_err", "ideal", "stateful_blocked", "skew_blocked"}
+}
+
+// TableRows implements Tabular.
+func (r *Fig9Result) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			d(row.Topology), d(row.Operators), d(row.AdditionalReplicas),
+			f(row.Predicted), f(row.Measured), f(row.RelErr),
+			strconv.FormatBool(row.Ideal), strconv.FormatBool(row.StatefulBlocked),
+			strconv.FormatBool(row.SkewBlocked),
+		})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *Fig10Result) Header() []string {
+	return []string{"topology", "bound", "replicas", "predicted", "measured"}
+}
+
+// TableRows implements Tabular.
+func (r *Fig10Result) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		bound := "original"
+		switch {
+		case row.Bound > 0:
+			bound = d(row.Bound)
+		case row.Bound < 0:
+			bound = "unbounded"
+		}
+		rows = append(rows, []string{
+			d(row.Topology), bound, d(row.Replicas), f(row.Predicted), f(row.Measured),
+		})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *TableResult) Header() []string {
+	return []string{"phase", "operator", "mu_inv_ms", "delta_inv_ms", "rho"}
+}
+
+// TableRows implements Tabular.
+func (r *TableResult) TableRows() [][]string {
+	var rows [][]string
+	add := func(phase string, trs []TableRow) {
+		for _, tr := range trs {
+			rows = append(rows, []string{phase, tr.Name, f(tr.MuInv), f(tr.DeltaInv), f(tr.Rho)})
+		}
+	}
+	add("before", r.Before)
+	add("after", r.After)
+	return rows
+}
+
+// Header implements Tabular.
+func (r *KeyPartResult) Header() []string {
+	return []string{"zipf_exp", "greedy_pmax", "hash_pmax", "greedy_replicas", "hash_replicas", "ideal_pmax"}
+}
+
+// TableRows implements Tabular.
+func (r *KeyPartResult) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			f(row.ZipfExp), f(row.GreedyPMax), f(row.HashPMax),
+			d(row.GreedyReps), d(row.HashReps), f(row.IdealPMax),
+		})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *BufferResult) Header() []string { return []string{"capacity", "throughput", "rel_err"} }
+
+// TableRows implements Tabular.
+func (r *BufferResult) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{d(row.Capacity), f(row.Throughput), f(row.RelErr)})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *LatencyResult) Header() []string {
+	return []string{"rho", "predicted_wait", "measured_wait", "rel_err"}
+}
+
+// TableRows implements Tabular.
+func (r *LatencyResult) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{f(row.Rho), f(row.PredictedWait), f(row.MeasuredWait), f(row.RelErr)})
+	}
+	return rows
+}
+
+// Header implements Tabular.
+func (r *LiveResult) Header() []string {
+	return []string{"topology", "operators", "predicted", "measured", "rel_err"}
+}
+
+// TableRows implements Tabular.
+func (r *LiveResult) TableRows() [][]string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			d(row.Topology), d(row.Operators), f(row.Predicted), f(row.Measured), f(row.RelErr),
+		})
+	}
+	return rows
+}

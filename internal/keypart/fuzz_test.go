@@ -1,0 +1,53 @@
+package keypart
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGreedyPartition checks the partitioner's invariants on arbitrary
+// weight vectors: no panic, every key assigned to a live replica, loads
+// consistent, pmax >= the ideal share.
+func FuzzGreedyPartition(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, uint8(2))
+	f.Add([]byte{1}, uint8(8))
+	f.Add([]byte{255, 1, 1, 1, 1, 1}, uint8(3))
+
+	f.Fuzz(func(t *testing.T, raw []byte, nRaw uint8) {
+		if len(raw) == 0 || len(raw) > 512 {
+			return
+		}
+		freq := make([]float64, len(raw))
+		total := 0.0
+		for i, b := range raw {
+			freq[i] = float64(b) + 1 // strictly positive
+			total += freq[i]
+		}
+		for i := range freq {
+			freq[i] /= total
+		}
+		n := 1 + int(nRaw)%16
+		for _, p := range []Partitioner{Greedy{}, ConsistentHash{Seed: 3}} {
+			asg, err := p.Partition(freq, n)
+			if err != nil {
+				t.Fatalf("valid input rejected: %v", err)
+			}
+			if asg.Replicas < 1 || asg.Replicas > n {
+				t.Fatalf("replicas = %d outside [1, %d]", asg.Replicas, n)
+			}
+			sum := 0.0
+			for k, r := range asg.Replica {
+				if r < 0 || r >= len(asg.Load) {
+					t.Fatalf("key %d -> replica %d out of range", k, r)
+				}
+				sum += freq[k]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("assigned mass %v != 1", sum)
+			}
+			if asg.PMax < 1/float64(asg.Replicas)-1e-9 || asg.PMax > 1+1e-9 {
+				t.Fatalf("pmax = %v implausible for %d replicas", asg.PMax, asg.Replicas)
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package operators
+
+import (
+	"sort"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/window"
+)
+
+// keyedWindows lazily maintains one count window per partitioning key; the
+// state layout that makes an operator partitioned-stateful.
+type keyedWindows struct {
+	length, slide int
+	byKey         map[uint64]*window.Count[float64]
+}
+
+func newKeyedWindows(length, slide int) *keyedWindows {
+	return &keyedWindows{length: length, slide: slide, byKey: make(map[uint64]*window.Count[float64])}
+}
+
+// add buffers v into key's window and returns (content, true) on fire.
+func (kw *keyedWindows) add(key uint64, v float64, scratch []float64) ([]float64, bool) {
+	w, ok := kw.byKey[key]
+	if !ok {
+		w = window.MustCount[float64](kw.length, kw.slide)
+		kw.byKey[key] = w
+	}
+	if !w.Add(v) {
+		return nil, false
+	}
+	return w.Snapshot(scratch[:0]), true
+}
+
+// aggregate is the shared machinery of the windowed aggregation operators:
+// a partitioned-stateful count window per key plus a reduction function
+// applied to the window content on every fire.
+type aggregate struct {
+	name    string
+	length  int
+	slide   int
+	numKeys int
+	// newReduce builds a fresh reduction closure; Clone re-invokes it so
+	// replicas never share reduction scratch state.
+	newReduce func() func([]float64) float64
+	reduce    func([]float64) float64
+	state     *keyedWindows
+	scratch   []float64
+}
+
+func newAggregate(name string, spec Spec, newReduce func() func([]float64) float64) *aggregate {
+	length, slide := windowOf(spec)
+	numKeys := spec.NumKeys
+	if numKeys <= 0 {
+		numKeys = 64
+	}
+	return &aggregate{
+		name:      name,
+		length:    length,
+		slide:     slide,
+		numKeys:   numKeys,
+		newReduce: newReduce,
+		reduce:    newReduce(),
+		state:     newKeyedWindows(length, slide),
+		scratch:   make([]float64, 0, length),
+	}
+}
+
+func (a *aggregate) Name() string { return a.name }
+
+func (a *aggregate) Meta() Meta {
+	return Meta{
+		Kind:             core.KindPartitionedStateful,
+		InputSelectivity: float64(a.slide),
+		NumKeys:          a.numKeys,
+	}
+}
+
+func (a *aggregate) Clone() Operator {
+	c := *a
+	c.state = newKeyedWindows(a.length, a.slide)
+	c.scratch = make([]float64, 0, a.length)
+	c.reduce = a.newReduce()
+	return &c
+}
+
+func (a *aggregate) Process(in Tuple, emit Emit) {
+	content, fired := a.state.add(in.Key, in.Field(0), a.scratch)
+	if !fired {
+		return
+	}
+	a.scratch = content[:0]
+	out := in
+	out.Fields = []float64{a.reduce(content)}
+	emit(out)
+}
+
+// statelessReduce adapts a pure reduction to the factory contract.
+func statelessReduce(f func([]float64) float64) func() func([]float64) float64 {
+	return func() func([]float64) float64 { return f }
+}
+
+// newWMA builds the weighted moving average aggregation: recent items weigh
+// linearly more than old ones.
+func newWMA(spec Spec) (Operator, error) {
+	return newAggregate("wma", spec, statelessReduce(func(xs []float64) float64 {
+		num, den := 0.0, 0.0
+		for i, x := range xs {
+			w := float64(i + 1)
+			num += w * x
+			den += w
+		}
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	})), nil
+}
+
+// newWindowedSum sums the window content.
+func newWindowedSum(spec Spec) (Operator, error) {
+	return newAggregate("wsum", spec, statelessReduce(func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	})), nil
+}
+
+// newWindowedMax reduces the window to its maximum.
+func newWindowedMax(spec Spec) (Operator, error) {
+	return newAggregate("wmax", spec, statelessReduce(func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	})), nil
+}
+
+// newWindowedMin reduces the window to its minimum.
+func newWindowedMin(spec Spec) (Operator, error) {
+	return newAggregate("wmin", spec, statelessReduce(func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	})), nil
+}
+
+// newWindowedQuantile computes the q-quantile (Param, default median) of
+// the window by sorting a per-replica scratch copy.
+func newWindowedQuantile(spec Spec) (Operator, error) {
+	q := quantileOf(spec)
+	return newAggregate("wquantile", spec, func() func([]float64) float64 {
+		var buf []float64
+		return func(xs []float64) float64 {
+			buf = append(buf[:0], xs...)
+			sort.Float64s(buf)
+			if len(buf) == 0 {
+				return 0
+			}
+			idx := int(q * float64(len(buf)-1))
+			return buf[idx]
+		}
+	}), nil
+}

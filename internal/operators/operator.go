@@ -1,0 +1,181 @@
+// Package operators provides the library of real-world streaming operators
+// used throughout the evaluation: tuple-by-tuple maps and filters, windowed
+// aggregations (weighted moving average, sum, max, min, quantiles), spatial
+// queries over windows (skyline, top-k) and band-joins on count windows —
+// the same operator families Section 5.1 of the paper builds its testbed
+// from.
+//
+// Operators implement a uniform Process(in, emit) contract (the analog of
+// the paper's SS2Akka operatorFunction) and expose the static metadata the
+// optimizer needs: state kind and input/output selectivity. Replicas for
+// operator fission are created with Clone, which copies configuration but
+// never state.
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"spinstreams/internal/core"
+)
+
+// Tuple is the unit of data flowing through a topology: a record of numeric
+// attributes with a partitioning key and bookkeeping metadata.
+type Tuple struct {
+	// Key is the partitioning key used by partitioned-stateful operators.
+	Key uint64
+	// Seq is a monotonically increasing sequence number assigned by the
+	// source; collectors use it to restore ordering after fission.
+	Seq uint64
+	// Port identifies which logical input of the operator the tuple
+	// arrived on (0 for single-input operators); band-joins distinguish
+	// their two sides with it.
+	Port int
+	// Fields is the payload: a record of numeric attributes.
+	Fields []float64
+}
+
+// Field returns Fields[i], or 0 when the tuple is narrower; operators stay
+// total on malformed inputs instead of panicking.
+func (t Tuple) Field(i int) float64 {
+	if i < 0 || i >= len(t.Fields) {
+		return 0
+	}
+	return t.Fields[i]
+}
+
+// Emit delivers an output tuple to the runtime, which routes it downstream.
+type Emit func(Tuple)
+
+// Meta is the static profile of an operator: everything the cost models
+// need to know about it besides its measured service time.
+type Meta struct {
+	// Kind is the operator's state class.
+	Kind core.Kind
+	// InputSelectivity is the average number of inputs consumed per
+	// output (0 means 1).
+	InputSelectivity float64
+	// OutputSelectivity is the average number of outputs produced per
+	// input (0 means 1).
+	OutputSelectivity float64
+	// NumKeys is the size of the key domain for partitioned-stateful
+	// operators, 0 otherwise.
+	NumKeys int
+}
+
+// Operator is a deployable stream operator. Implementations are not safe
+// for concurrent use: the runtime guarantees that each instance processes
+// one tuple at a time, exactly like an Akka actor's mailbox discipline.
+type Operator interface {
+	// Name returns the implementation name the operator was built from.
+	Name() string
+	// Meta returns the operator's static profile.
+	Meta() Meta
+	// Process consumes one input tuple and emits zero or more results.
+	Process(in Tuple, emit Emit)
+	// Clone returns a fresh replica with the same configuration and empty
+	// state, for operator fission.
+	Clone() Operator
+}
+
+// Spec selects and configures an operator implementation by name. It is
+// the in-process analog of the paper's XML operator attributes plus .class
+// reference.
+type Spec struct {
+	// Impl names the implementation (see Catalog).
+	Impl string
+	// WindowLen and Slide configure windowed operators.
+	WindowLen, Slide int
+	// Param is an implementation-specific scalar (threshold, band width,
+	// scale factor, quantile, sampling rate...).
+	Param float64
+	// K configures cardinalities (top-k's k, splitter fan-out, projection
+	// width).
+	K int
+	// NumKeys is the key-domain size for partitioned-stateful operators.
+	NumKeys int
+	// Seed makes randomized operators (sampler) deterministic.
+	Seed uint64
+}
+
+// builder constructs an operator from a spec.
+type builder func(Spec) (Operator, error)
+
+// catalog is the registry of the 20 real-world operator implementations.
+var catalog = map[string]builder{
+	"identity":         newIdentity,
+	"scale":            newScale,
+	"affine":           newAffine,
+	"magnitude":        newMagnitude,
+	"normalize":        newNormalize,
+	"threshold-filter": newThresholdFilter,
+	"range-filter":     newRangeFilter,
+	"sampler":          newSampler,
+	"splitter":         newSplitter,
+	"projection":       newProjection,
+	"keyby":            newKeyBy,
+	"wma":              newWMA,
+	"wsum":             newWindowedSum,
+	"wmax":             newWindowedMax,
+	"wmin":             newWindowedMin,
+	"wquantile":        newWindowedQuantile,
+	"skyline":          newSkyline,
+	"topk":             newTopK,
+	"bandjoin":         newBandJoin,
+	"dedup":            newDedup,
+}
+
+// Catalog returns the sorted names of all registered implementations.
+func Catalog() []string {
+	names := make([]string, 0, len(catalog))
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the operator selected by spec.
+func Build(spec Spec) (Operator, error) {
+	b, ok := catalog[spec.Impl]
+	if !ok {
+		return nil, fmt.Errorf("operators: unknown implementation %q", spec.Impl)
+	}
+	return b(spec)
+}
+
+// MustBuild is Build that panics on error, for statically-known specs.
+func MustBuild(spec Spec) Operator {
+	op, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func windowOf(spec Spec) (length, slide int) {
+	length, slide = spec.WindowLen, spec.Slide
+	if length <= 0 {
+		length = 1000
+	}
+	if slide <= 0 {
+		slide = 10
+	}
+	return length, slide
+}
+
+// quantileOf returns spec.Param clamped into (0, 1), defaulting to 0.5.
+func quantileOf(spec Spec) float64 {
+	q := spec.Param
+	if q <= 0 || q >= 1 {
+		return 0.5
+	}
+	return q
+}
+
+func dims(spec Spec) int {
+	if spec.K > 0 {
+		return spec.K
+	}
+	return 2
+}

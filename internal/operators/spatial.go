@@ -1,0 +1,133 @@
+package operators
+
+import (
+	"sort"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/window"
+)
+
+// skyline computes the Pareto frontier (maximization on every dimension) of
+// the points in a count window: a point survives if no other point in the
+// window dominates it on all dimensions. The state is a single window over
+// the whole stream, so the operator is monolithically stateful — it cannot
+// be replicated (Section 5.3 uses such operators to create unresolvable
+// bottlenecks).
+type skyline struct {
+	dims    int
+	win     *window.Count[[]float64]
+	scratch [][]float64
+}
+
+func newSkyline(spec Spec) (Operator, error) {
+	length, slide := windowOf(spec)
+	return &skyline{
+		dims: dims(spec),
+		win:  window.MustCount[[]float64](length, slide),
+	}, nil
+}
+
+func (s *skyline) Name() string { return "skyline" }
+
+func (s *skyline) Meta() Meta {
+	return Meta{Kind: core.KindStateful, InputSelectivity: float64(s.win.Slide())}
+}
+
+func (s *skyline) Clone() Operator {
+	return &skyline{dims: s.dims, win: window.MustCount[[]float64](s.win.Length(), s.win.Slide())}
+}
+
+func (s *skyline) Process(in Tuple, emit Emit) {
+	point := make([]float64, s.dims)
+	for i := range point {
+		point[i] = in.Field(i)
+	}
+	if !s.win.Add(point) {
+		return
+	}
+	s.scratch = s.win.Snapshot(s.scratch[:0])
+	frontier := s.frontierSize(s.scratch)
+	out := in
+	out.Fields = []float64{float64(frontier)}
+	emit(out)
+}
+
+// frontierSize counts the non-dominated points; quadratic scan, the real
+// cost profile of small-window skyline queries.
+func (s *skyline) frontierSize(points [][]float64) int {
+	count := 0
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			count++
+		}
+	}
+	return count
+}
+
+// dominates reports whether a >= b on every dimension and a > b on at
+// least one.
+func dominates(a, b []float64) bool {
+	strict := false
+	for d := range a {
+		if a[d] < b[d] {
+			return false
+		}
+		if a[d] > b[d] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// topK maintains the k largest scores (first field) in a count window and
+// emits the k-th best on every fire; a window-based top-k query as in
+// Upsortable. Like skyline, its single global window makes it stateful.
+type topK struct {
+	k       int
+	win     *window.Count[float64]
+	scratch []float64
+}
+
+func newTopK(spec Spec) (Operator, error) {
+	length, slide := windowOf(spec)
+	k := spec.K
+	if k <= 0 {
+		k = 10
+	}
+	return &topK{k: k, win: window.MustCount[float64](length, slide)}, nil
+}
+
+func (t *topK) Name() string { return "topk" }
+
+func (t *topK) Meta() Meta {
+	return Meta{Kind: core.KindStateful, InputSelectivity: float64(t.win.Slide())}
+}
+
+func (t *topK) Clone() Operator {
+	return &topK{k: t.k, win: window.MustCount[float64](t.win.Length(), t.win.Slide())}
+}
+
+func (t *topK) Process(in Tuple, emit Emit) {
+	if !t.win.Add(in.Field(0)) {
+		return
+	}
+	t.scratch = t.win.Snapshot(t.scratch[:0])
+	sort.Sort(sort.Reverse(sort.Float64Slice(t.scratch)))
+	k := t.k
+	if k > len(t.scratch) {
+		k = len(t.scratch)
+	}
+	out := in
+	out.Fields = append([]float64(nil), t.scratch[:k]...)
+	emit(out)
+}

@@ -1,0 +1,321 @@
+// Package plan expands a logical SpinStreams topology into the physical
+// execution plan the paper's code generator produces for Akka (Section
+// 4.2): one executor per operator in the standard case; emitter + replicas
+// + collector for operators parallelized by fission; a single meta-operator
+// executor for fused subgraphs. Both the discrete-event simulator (qsim)
+// and the live goroutine runtime execute plans, which keeps "predicted vs
+// measured" comparisons honest — they run the same physical structure.
+package plan
+
+import (
+	"fmt"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/keypart"
+)
+
+// Role classifies a physical station.
+type Role int
+
+const (
+	// RoleSource generates the input stream.
+	RoleSource Role = iota + 1
+	// RoleWorker executes a logical operator (or one replica of it).
+	RoleWorker
+	// RoleEmitter schedules items of a replicated operator to replicas.
+	RoleEmitter
+	// RoleCollector merges replica outputs and forwards them downstream.
+	RoleCollector
+)
+
+// String returns the lower-case role name.
+func (r Role) String() string {
+	switch r {
+	case RoleSource:
+		return "source"
+	case RoleWorker:
+		return "worker"
+	case RoleEmitter:
+		return "emitter"
+	case RoleCollector:
+		return "collector"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Discipline selects how a station routes each output item.
+type Discipline int
+
+const (
+	// Probabilistic samples one target per item from edge probabilities
+	// (the logical topology's routing).
+	Probabilistic Discipline = iota + 1
+	// RoundRobin cycles deterministically over the targets (emitters of
+	// stateless replicated operators).
+	RoundRobin
+	// KeyHash routes by the item's partitioning key through a key->replica
+	// assignment (emitters of partitioned-stateful operators).
+	KeyHash
+)
+
+// StationID indexes a station within a Plan.
+type StationID int
+
+// Edge is a physical link to a downstream station.
+type Edge struct {
+	To StationID
+	// Prob is the routing probability under the Probabilistic discipline;
+	// under RoundRobin and KeyHash it records the expected load share, so
+	// the simulator can treat every discipline as weighted routing.
+	Prob float64
+	// Port is the index of the corresponding input edge at the target
+	// logical operator; multi-input operators (joins) use it to tell
+	// their sides apart. Zero for intra-operator links.
+	Port int
+}
+
+// Station is a sequential executor: one mailbox, one logical thread.
+type Station struct {
+	ID   StationID
+	Name string
+	Role Role
+	// Op is the logical operator this station belongs to.
+	Op core.OpID
+	// Replica is the replica index for workers of replicated operators.
+	Replica int
+	// ServiceTime is the station's mean time per consumed item in seconds.
+	ServiceTime float64
+	// Gain is the station's rate multiplier (output/input selectivity).
+	Gain float64
+	// InputSelectivity and OutputSelectivity are carried through for the
+	// runtime's operator bindings.
+	InputSelectivity, OutputSelectivity float64
+	// Out lists the downstream links.
+	Out []Edge
+	// Discipline selects the routing of output items.
+	Discipline Discipline
+	// KeyReplica maps key -> replica slot for KeyHash emitters; replica
+	// slot i corresponds to Out[i].
+	KeyReplica []int
+}
+
+// Plan is a physical execution plan.
+type Plan struct {
+	Stations []Station
+	// SourceID is the unique source station.
+	SourceID StationID
+	// WorkersOf maps each logical operator to its worker station IDs.
+	WorkersOf [][]StationID
+	// CollectorOf maps each logical operator to its collector station, or
+	// -1 when the operator is not replicated.
+	CollectorOf []StationID
+	// EntryOf maps each logical operator to the station that receives its
+	// input items (the worker itself, or the emitter when replicated).
+	EntryOf []StationID
+}
+
+// Options tunes plan expansion.
+type Options struct {
+	// Replicas gives the replication degree per logical operator; nil or
+	// an entry < 2 means a single worker. Typically Analysis.Replicas
+	// from the optimizer.
+	Replicas []int
+	// EmitterServiceTime is the mean cost of the scheduling emitters and
+	// collectors in seconds (paper: "a few microseconds at most").
+	EmitterServiceTime float64
+	// Partitioner assigns keys to replicas of partitioned-stateful
+	// operators; defaults to keypart.Greedy{}.
+	Partitioner keypart.Partitioner
+	// AllowCycles relaxes validation to the cyclic analysis's assumptions
+	// (Topology.ValidateCyclic); the simulator handles feedback edges,
+	// though blocking semantics can deadlock a saturated cycle — pair
+	// cyclic plans with ample buffers or shedding.
+	AllowCycles bool
+}
+
+// DefaultEmitterServiceTime mirrors the paper's observation that emitter
+// and collector actors cost a few microseconds per item.
+const DefaultEmitterServiceTime = 2e-6
+
+// Build expands the logical topology into a physical plan.
+func Build(t *core.Topology, opts Options) (*Plan, error) {
+	validate := t.Validate
+	if opts.AllowCycles {
+		validate = t.ValidateCyclic
+	}
+	if err := validate(); err != nil {
+		return nil, err
+	}
+	if opts.EmitterServiceTime <= 0 {
+		opts.EmitterServiceTime = DefaultEmitterServiceTime
+	}
+	if opts.Partitioner == nil {
+		opts.Partitioner = keypart.Greedy{}
+	}
+	replicas := func(id core.OpID) int {
+		if opts.Replicas == nil || int(id) >= len(opts.Replicas) {
+			return 1
+		}
+		if n := opts.Replicas[id]; n > 1 {
+			return n
+		}
+		return 1
+	}
+
+	p := &Plan{
+		WorkersOf:   make([][]StationID, t.Len()),
+		CollectorOf: make([]StationID, t.Len()),
+		EntryOf:     make([]StationID, t.Len()),
+		SourceID:    -1,
+	}
+	for i := range p.CollectorOf {
+		p.CollectorOf[i] = -1
+		p.EntryOf[i] = -1
+	}
+
+	add := func(s Station) StationID {
+		s.ID = StationID(len(p.Stations))
+		p.Stations = append(p.Stations, s)
+		return s.ID
+	}
+
+	// First pass: create stations for every logical operator.
+	for i := 0; i < t.Len(); i++ {
+		id := core.OpID(i)
+		op := t.Op(id)
+		n := replicas(id)
+		if op.Kind == core.KindSource {
+			sid := add(Station{
+				Name: op.Name, Role: RoleSource, Op: id,
+				ServiceTime: op.ServiceTime, Gain: op.Gain(),
+				InputSelectivity:  op.InputSelectivity,
+				OutputSelectivity: op.OutputSelectivity,
+				Discipline:        Probabilistic,
+			})
+			p.SourceID = sid
+			p.WorkersOf[i] = []StationID{sid}
+			p.EntryOf[i] = sid
+			continue
+		}
+		if n == 1 {
+			sid := add(Station{
+				Name: op.Name, Role: RoleWorker, Op: id,
+				ServiceTime: op.ServiceTime, Gain: op.Gain(),
+				InputSelectivity:  op.InputSelectivity,
+				OutputSelectivity: op.OutputSelectivity,
+				Discipline:        Probabilistic,
+			})
+			p.WorkersOf[i] = []StationID{sid}
+			p.EntryOf[i] = sid
+			continue
+		}
+		if !op.Kind.CanReplicate() {
+			return nil, fmt.Errorf("plan: operator %q of kind %s cannot be replicated", op.Name, op.Kind)
+		}
+		// Emitter + workers + collector. Partitioned-stateful operators
+		// may consolidate to fewer replicas than requested, so partition
+		// before creating worker stations.
+		var keyReplica []int
+		var loads []float64
+		discipline := RoundRobin
+		if op.Kind == core.KindPartitionedStateful {
+			asg, err := opts.Partitioner.Partition(op.Keys.Freq, n)
+			if err != nil {
+				return nil, fmt.Errorf("plan: partition %q: %w", op.Name, err)
+			}
+			discipline = KeyHash
+			keyReplica = append([]int(nil), asg.Replica...)
+			loads = append([]float64(nil), asg.Load...)
+			n = asg.Replicas
+		}
+		if n == 1 {
+			// Consolidation collapsed the fission: a single plain worker.
+			sid := add(Station{
+				Name: op.Name, Role: RoleWorker, Op: id,
+				ServiceTime: op.ServiceTime, Gain: op.Gain(),
+				InputSelectivity:  op.InputSelectivity,
+				OutputSelectivity: op.OutputSelectivity,
+				Discipline:        Probabilistic,
+			})
+			p.WorkersOf[i] = []StationID{sid}
+			p.EntryOf[i] = sid
+			continue
+		}
+		emitter := add(Station{
+			Name: op.Name + "/emitter", Role: RoleEmitter, Op: id,
+			ServiceTime: opts.EmitterServiceTime, Gain: 1,
+			Discipline: discipline,
+			KeyReplica: keyReplica,
+		})
+		var workers []StationID
+		for r := 0; r < n; r++ {
+			workers = append(workers, add(Station{
+				Name: fmt.Sprintf("%s/replica%d", op.Name, r), Role: RoleWorker, Op: id, Replica: r,
+				ServiceTime: op.ServiceTime, Gain: op.Gain(),
+				InputSelectivity:  op.InputSelectivity,
+				OutputSelectivity: op.OutputSelectivity,
+				Discipline:        Probabilistic,
+			}))
+		}
+		collector := add(Station{
+			Name: op.Name + "/collector", Role: RoleCollector, Op: id,
+			ServiceTime: opts.EmitterServiceTime, Gain: 1,
+			InputSelectivity:  op.InputSelectivity,
+			OutputSelectivity: op.OutputSelectivity,
+			Discipline:        Probabilistic,
+		})
+		p.WorkersOf[i] = workers
+		p.CollectorOf[i] = collector
+		p.EntryOf[i] = emitter
+
+		est := &p.Stations[emitter]
+		for r, w := range workers {
+			share := 1 / float64(n)
+			if loads != nil && r < len(loads) {
+				share = loads[r]
+			}
+			est.Out = append(est.Out, Edge{To: w, Prob: share})
+		}
+		for _, w := range workers {
+			p.Stations[w].Out = []Edge{{To: collector, Prob: 1}}
+		}
+	}
+
+	// Second pass: wire logical edges from each operator's output side
+	// (worker or collector) to the target operator's entry.
+	for i := 0; i < t.Len(); i++ {
+		id := core.OpID(i)
+		outSide := p.WorkersOf[i]
+		if c := p.CollectorOf[i]; c >= 0 {
+			outSide = []StationID{c}
+		}
+		for _, s := range outSide {
+			st := &p.Stations[s]
+			for _, e := range t.Out(id) {
+				port := 0
+				for idx, in := range t.In(e.To) {
+					if in.From == id {
+						port = idx
+					}
+				}
+				st.Out = append(st.Out, Edge{To: p.EntryOf[e.To], Prob: e.Prob, Port: port})
+			}
+		}
+	}
+	return p, nil
+}
+
+// NumWorkers returns the number of worker stations (replicas included).
+func (p *Plan) NumWorkers() int {
+	n := 0
+	for _, s := range p.Stations {
+		if s.Role == RoleWorker {
+			n++
+		}
+	}
+	return n
+}
+
+// Station returns the station with the given ID.
+func (p *Plan) Station(id StationID) *Station { return &p.Stations[id] }

@@ -1,0 +1,125 @@
+// Package profiler measures the per-operator quantities the SpinStreams
+// cost models consume: mean service time per input item and the
+// input/output selectivity, obtained by driving each operator with a
+// synthetic sample stream. It replaces the instrumentation libraries the
+// paper relies on (Mammut for C++, DiSL for Java) with direct measurement
+// of our Go operators.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+)
+
+// Profile is the measured behaviour of one operator.
+type Profile struct {
+	// ServiceTime is the measured mean wall time per consumed item in
+	// seconds.
+	ServiceTime float64
+	// Consumed and Emitted count the sample items in and out.
+	Consumed, Emitted uint64
+	// Gain is Emitted/Consumed: the measured rate multiplier.
+	Gain float64
+	// InputSelectivity and OutputSelectivity split the measured gain
+	// according to the operator's declared profile: windowed operators
+	// report consumed-per-emitted, expanding/filtering operators report
+	// emitted-per-consumed.
+	InputSelectivity, OutputSelectivity float64
+}
+
+// Config tunes a measurement.
+type Config struct {
+	// Samples is the number of input items fed to the operator
+	// (default 20000; windowed operators need enough to pass warmup).
+	Samples int
+	// Seed derives the synthetic input stream.
+	Seed uint64
+	// Generator overrides the default synthetic stream.
+	Generator *operators.Generator
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Samples <= 0 {
+		c.Samples = 20000
+	}
+	if c.Generator == nil {
+		g, err := operators.NewGenerator(operators.GeneratorConfig{Seed: c.Seed + 7})
+		if err != nil {
+			return c, err
+		}
+		c.Generator = g
+	}
+	return c, nil
+}
+
+// Measure drives op with cfg.Samples synthetic items and reports its
+// measured profile.
+func Measure(op operators.Operator, cfg Config) (Profile, error) {
+	if op == nil {
+		return Profile{}, errors.New("profiler: nil operator")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Profile{}, err
+	}
+	var emitted uint64
+	emit := func(operators.Tuple) { emitted++ }
+	start := time.Now()
+	for i := 0; i < cfg.Samples; i++ {
+		op.Process(cfg.Generator.Next(), emit)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	p := Profile{
+		ServiceTime: elapsed / float64(cfg.Samples),
+		Consumed:    uint64(cfg.Samples),
+		Emitted:     emitted,
+		Gain:        float64(emitted) / float64(cfg.Samples),
+	}
+	meta := op.Meta()
+	switch {
+	case meta.InputSelectivity > 1 && emitted > 0:
+		p.InputSelectivity = float64(cfg.Samples) / float64(emitted)
+		p.OutputSelectivity = 1
+	default:
+		p.InputSelectivity = 1
+		p.OutputSelectivity = p.Gain
+	}
+	return p, nil
+}
+
+// Annotate profiles every bound operator of a topology and overwrites the
+// vertices' ServiceTime and selectivity fields with the measured values —
+// the "execute the application as is for a reasonable amount of time"
+// step of the paper's workflow (Section 4.1). Vertices without a spec
+// (e.g. the source) keep their configured values.
+func Annotate(t *core.Topology, specs []operators.Spec, cfg Config) error {
+	if len(specs) != t.Len() {
+		return fmt.Errorf("profiler: %d specs for %d operators", len(specs), t.Len())
+	}
+	for i, spec := range specs {
+		if spec.Impl == "" || spec.Impl == "source" {
+			continue
+		}
+		op, err := operators.Build(spec)
+		if err != nil {
+			return fmt.Errorf("profiler: operator %d: %w", i, err)
+		}
+		sub := cfg
+		sub.Seed = cfg.Seed + uint64(i)*0x9e37
+		sub.Generator = nil
+		p, err := Measure(op, sub)
+		if err != nil {
+			return fmt.Errorf("profiler: operator %d: %w", i, err)
+		}
+		v := t.Op(core.OpID(i))
+		v.ServiceTime = p.ServiceTime
+		v.InputSelectivity = p.InputSelectivity
+		v.OutputSelectivity = p.OutputSelectivity
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+)
+
+func TestMeasureMap(t *testing.T) {
+	p, err := Measure(operators.MustBuild(operators.Spec{Impl: "scale"}), Config{Samples: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ServiceTime <= 0 {
+		t.Errorf("service time = %v, want > 0", p.ServiceTime)
+	}
+	if p.Gain != 1 || p.OutputSelectivity != 1 {
+		t.Errorf("map gain = %v, out sel = %v, want 1", p.Gain, p.OutputSelectivity)
+	}
+}
+
+func TestMeasureFilterSelectivity(t *testing.T) {
+	p, err := Measure(operators.MustBuild(operators.Spec{Impl: "threshold-filter", Param: 0.5}),
+		Config{Samples: 50000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform [0,1) first field, threshold 0.5: measured pass rate ~0.5.
+	if math.Abs(p.OutputSelectivity-0.5) > 0.02 {
+		t.Errorf("measured selectivity = %v, want ~0.5", p.OutputSelectivity)
+	}
+}
+
+func TestMeasureWindowedSelectivity(t *testing.T) {
+	p, err := Measure(operators.MustBuild(operators.Spec{
+		Impl: "wsum", WindowLen: 100, Slide: 10, NumKeys: 4,
+	}), Config{Samples: 100000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady-state input selectivity approaches the slide (warmup skews
+	// the count a little).
+	if p.InputSelectivity < 8 || p.InputSelectivity > 13 {
+		t.Errorf("input selectivity = %v, want ~10", p.InputSelectivity)
+	}
+	if p.OutputSelectivity != 1 {
+		t.Errorf("output selectivity = %v, want 1", p.OutputSelectivity)
+	}
+}
+
+func TestMeasureSplitter(t *testing.T) {
+	p, err := Measure(operators.MustBuild(operators.Spec{Impl: "splitter", K: 3}), Config{Samples: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gain != 3 {
+		t.Errorf("splitter gain = %v, want 3", p.Gain)
+	}
+}
+
+func TestMeasureNil(t *testing.T) {
+	if _, err := Measure(nil, Config{}); err == nil {
+		t.Fatal("nil operator accepted")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 0.001, Impl: "source"})
+	mp := topo.MustAddOperator(core.Operator{Name: "map", Kind: core.KindStateless, ServiceTime: 123, Impl: "scale"})
+	fil := topo.MustAddOperator(core.Operator{Name: "fil", Kind: core.KindStateless, ServiceTime: 456, Impl: "threshold-filter"})
+	topo.MustConnect(src, mp, 1)
+	topo.MustConnect(mp, fil, 1)
+
+	specs := []operators.Spec{
+		{Impl: "source"},
+		{Impl: "scale", Param: 2},
+		{Impl: "threshold-filter", Param: 0.5},
+	}
+	if err := Annotate(topo, specs, Config{Samples: 20000, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Op(src).ServiceTime != 0.001 {
+		t.Error("source service time overwritten")
+	}
+	if topo.Op(mp).ServiceTime >= 123 || topo.Op(mp).ServiceTime <= 0 {
+		t.Errorf("map service time = %v, want measured (small, positive)", topo.Op(mp).ServiceTime)
+	}
+	if s := topo.Op(fil).OutputSelectivity; math.Abs(s-0.5) > 0.05 {
+		t.Errorf("filter selectivity = %v, want ~0.5", s)
+	}
+	// Annotated topology remains analyzable.
+	if _, err := core.SteadyState(topo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnotateSpecMismatch(t *testing.T) {
+	topo := core.NewTopology()
+	topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1})
+	if err := Annotate(topo, nil, Config{}); err == nil {
+		t.Fatal("spec/operator count mismatch accepted")
+	}
+}
+
+func TestAnnotateUnknownImpl(t *testing.T) {
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1})
+	bad := topo.MustAddOperator(core.Operator{Name: "bad", Kind: core.KindStateless, ServiceTime: 1})
+	topo.MustConnect(src, bad, 1)
+	specs := []operators.Spec{{Impl: "source"}, {Impl: "ghost"}}
+	if err := Annotate(topo, specs, Config{Samples: 100}); err == nil {
+		t.Fatal("unknown impl accepted")
+	}
+}

@@ -1,0 +1,360 @@
+// Package randtopo implements Algorithm 5 of the paper: generation of the
+// random rooted-acyclic topologies the evaluation testbed is made of.
+//
+// A generated topology numbers its vertices in a topological order with the
+// source first, connects them with V-1 ordered random edges plus extras up
+// to E = (V-1)*beta (beta in [1, 1.2] yields the loosely-coupled sparse
+// graphs typical of streaming applications), repairs any orphan vertex with
+// an edge from the source, assigns real-world operators to vertices under
+// placement constraints (band-joins only on vertices with at least two
+// input edges), and draws the routing probabilities of multi-output
+// vertices from randomly-skewed ZipF laws.
+package randtopo
+
+import (
+	"fmt"
+	"math"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/stats"
+)
+
+// Config tunes the generator. The zero value reproduces the paper's
+// setup (scaled to simulation-friendly service times).
+type Config struct {
+	// Seed drives all randomness; same seed, same topology.
+	Seed uint64
+	// MinOps and MaxOps bound the vertex count (paper: [2, 20]).
+	MinOps, MaxOps int
+	// BetaMin and BetaMax bound the connecting factor (paper: [1, 1.2]).
+	BetaMin, BetaMax float64
+	// ServiceTimeMin and ServiceTimeMax bound the per-operator profiled
+	// service times in seconds, drawn log-uniformly. The paper's operators
+	// range from hundreds of microseconds to hundreds of milliseconds;
+	// the defaults scale that down to keep live experiments short.
+	ServiceTimeMin, ServiceTimeMax float64
+	// SourceFactor sets the source service rate to SourceFactor times the
+	// rate of the fastest non-source operator. The paper uses 1.33 for
+	// the bottleneck-elimination experiments ("33% higher than the
+	// fastest operator") so every topology starts bottlenecked.
+	SourceFactor float64
+	// ZipfExpMin and ZipfExpMax bound the scaling exponent of the edge
+	// probability distributions (paper: alpha > 1, random).
+	ZipfExpMin, ZipfExpMax float64
+	// KeySkewMin and KeySkewMax bound the ZipF exponent of the key
+	// frequency distributions of partitioned-stateful operators. The
+	// defaults are mild: the paper's bottleneck-elimination experiment
+	// parallelizes partitioned-stateful operators successfully on 43/50
+	// topologies, which requires key domains that usually admit an even
+	// split.
+	KeySkewMin, KeySkewMax float64
+	// StatefulFraction is the probability that a vertex hosts a
+	// monolithic stateful (non-replicable) operator; the paper's testbed
+	// leaves most topologies fully parallelizable.
+	StatefulFraction float64
+	// MaxKeys bounds the key-domain size of partitioned-stateful
+	// operators (drawn uniformly in [8, MaxKeys]).
+	MaxKeys int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinOps <= 0 {
+		c.MinOps = 2
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 20
+	}
+	if c.MaxOps < c.MinOps {
+		c.MaxOps = c.MinOps
+	}
+	if c.BetaMin <= 0 {
+		c.BetaMin = 1.0
+	}
+	if c.BetaMax < c.BetaMin {
+		c.BetaMax = 1.2
+	}
+	if c.ServiceTimeMin <= 0 {
+		c.ServiceTimeMin = 200e-6
+	}
+	if c.ServiceTimeMax < c.ServiceTimeMin {
+		c.ServiceTimeMax = 20e-3
+	}
+	if c.SourceFactor <= 0 {
+		c.SourceFactor = 1.33
+	}
+	if c.ZipfExpMin <= 1 {
+		c.ZipfExpMin = 1.1
+	}
+	if c.ZipfExpMax < c.ZipfExpMin {
+		c.ZipfExpMax = 2.5
+	}
+	if c.MaxKeys <= 8 {
+		c.MaxKeys = 1024
+	}
+	if c.KeySkewMin <= 0 {
+		c.KeySkewMin = 0.05
+	}
+	if c.KeySkewMax < c.KeySkewMin {
+		c.KeySkewMax = 0.5
+	}
+	if c.StatefulFraction <= 0 {
+		c.StatefulFraction = 0.04
+	}
+	return c
+}
+
+// Generated couples a topology with the operator specs realizing each
+// vertex, so the same testbed entry can be analyzed (core), simulated
+// (qsim) and executed (runtime).
+type Generated struct {
+	// Topology is the annotated graph the cost models consume.
+	Topology *core.Topology
+	// Specs holds, per vertex ID, the operator implementation selection;
+	// the source vertex has Impl "source".
+	Specs []operators.Spec
+	// Seed reproduces this exact instance.
+	Seed uint64
+}
+
+// statelessImpls are catalog operators the generator may place anywhere.
+var statelessImpls = []string{
+	"identity", "scale", "affine", "magnitude", "normalize",
+	"threshold-filter", "range-filter", "sampler", "splitter",
+	"projection", "keyby",
+}
+
+// partitionedImpls are keyed-state operators.
+var partitionedImpls = []string{"wma", "wsum", "wmax", "wmin", "wquantile", "dedup"}
+
+// statefulImpls are monolithic-state operators (non-replicable).
+var statefulImpls = []string{"skyline", "topk"}
+
+// Generate builds one random topology per Algorithm 5.
+func Generate(cfg Config) (*Generated, error) {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+
+	v := rng.IntBetween(cfg.MinOps, cfg.MaxOps)
+	beta := rng.FloatBetween(cfg.BetaMin, cfg.BetaMax)
+	e := int(float64(v-1) * beta)
+	return generate(cfg, rng, v, e)
+}
+
+// GenerateSized builds a topology with exactly v vertices and an expected
+// e edges, validating the bounds exactly as Algorithm 5 does.
+func GenerateSized(cfg Config, v, e int) (*Generated, error) {
+	cfg = cfg.withDefaults()
+	if e > v*(v-1)/2 {
+		return nil, fmt.Errorf("randtopo: too many edges (%d for %d vertices)", e, v)
+	}
+	if e < v-1 {
+		return nil, fmt.Errorf("randtopo: too few edges (%d for %d vertices)", e, v)
+	}
+	return generate(cfg, stats.NewRNG(cfg.Seed), v, e)
+}
+
+type edgeKey struct{ u, v int }
+
+func generate(cfg Config, rng *stats.RNG, v, e int) (*Generated, error) {
+	if v < 2 {
+		v = 2
+	}
+	edges := make(map[edgeKey]bool, e)
+	// Phase 1: a random edge out of every non-terminal vertex, respecting
+	// the vertex numbering as topological order.
+	for i := 0; i <= v-2; i++ {
+		edges[edgeKey{i, rng.IntBetween(i+1, v-1)}] = true
+	}
+	// Phase 2: top up to e edges (the repair phase below may add more).
+	maxEdges := v * (v - 1) / 2
+	for len(edges) < e && len(edges) < maxEdges {
+		u := rng.Intn(v)
+		w := rng.Intn(v)
+		if u < w {
+			edges[edgeKey{u, w}] = true
+		}
+	}
+	// Phase 3: single-source repair — any vertex with no input edge gets
+	// one from the source.
+	hasInput := make([]bool, v)
+	for k := range edges {
+		hasInput[k.v] = true
+	}
+	for i := 1; i < v; i++ {
+		if !hasInput[i] {
+			edges[edgeKey{0, i}] = true
+		}
+	}
+
+	inDeg := make([]int, v)
+	outDeg := make([]int, v)
+	for k := range edges {
+		inDeg[k.v]++
+		outDeg[k.u]++
+	}
+
+	// Phase 4: operator assignment under placement constraints.
+	gen := &Generated{Topology: core.NewTopology(), Specs: make([]operators.Spec, v), Seed: cfg.Seed}
+	serviceTimes := make([]float64, v)
+	fastest := 0.0 // highest non-source rate
+	for i := 1; i < v; i++ {
+		serviceTimes[i] = logUniform(rng, cfg.ServiceTimeMin, cfg.ServiceTimeMax)
+		if r := 1 / serviceTimes[i]; r > fastest {
+			fastest = r
+		}
+	}
+	serviceTimes[0] = 1 / (cfg.SourceFactor * fastest)
+
+	for i := 0; i < v; i++ {
+		var spec operators.Spec
+		var op core.Operator
+		switch {
+		case i == 0:
+			spec = operators.Spec{Impl: "source", Seed: rng.Uint64()}
+			op = core.Operator{Name: "source", Kind: core.KindSource, ServiceTime: serviceTimes[0], Impl: "source"}
+		default:
+			spec = pickSpec(cfg, rng, inDeg[i])
+			meta := mustMeta(spec)
+			name := fmt.Sprintf("op%02d-%s", i, spec.Impl)
+			op = core.Operator{
+				Name:              name,
+				Kind:              meta.Kind,
+				ServiceTime:       serviceTimes[i],
+				InputSelectivity:  meta.InputSelectivity,
+				OutputSelectivity: meta.OutputSelectivity,
+				Impl:              spec.Impl,
+			}
+			if meta.Kind == core.KindPartitionedStateful {
+				op.Keys = &core.KeyDistribution{
+					Freq: stats.ZipfWeights(spec.NumKeys, rng.FloatBetween(cfg.KeySkewMin, cfg.KeySkewMax)),
+				}
+			}
+		}
+		if _, err := gen.Topology.AddOperator(op); err != nil {
+			return nil, fmt.Errorf("randtopo: %w", err)
+		}
+		gen.Specs[i] = spec
+	}
+
+	// Routing probabilities: a shuffled ZipF law per multi-output vertex.
+	outs := make([][]int, v)
+	for k := range edges {
+		outs[k.u] = append(outs[k.u], k.v)
+	}
+	for u, targets := range outs {
+		if len(targets) == 0 {
+			continue
+		}
+		sortInts(targets)
+		probs := stats.ZipfWeights(len(targets), rng.FloatBetween(cfg.ZipfExpMin, cfg.ZipfExpMax))
+		shuffle(rng, probs)
+		for i, w := range targets {
+			if err := gen.Topology.Connect(core.OpID(u), core.OpID(w), probs[i]); err != nil {
+				return nil, fmt.Errorf("randtopo: %w", err)
+			}
+		}
+	}
+	if err := gen.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("randtopo: generated invalid topology: %w", err)
+	}
+	return gen, nil
+}
+
+// pickSpec selects a random operator implementation respecting placement
+// constraints: band-joins need at least two input edges; the stateless /
+// partitioned / stateful mix approximates the paper's 20-operator pool.
+func pickSpec(cfg Config, rng *stats.RNG, inDeg int) operators.Spec {
+	winLens := []int{1000, 5000, 10000}
+	slides := []int{1, 10, 50}
+	spec := operators.Spec{
+		WindowLen: winLens[rng.Intn(len(winLens))],
+		Slide:     slides[rng.Intn(len(slides))],
+		Seed:      rng.Uint64(),
+		NumKeys:   rng.IntBetween(128, cfg.MaxKeys),
+		K:         rng.IntBetween(2, 8),
+	}
+	roll := rng.Float64()
+	statefulCut := 1 - cfg.StatefulFraction
+	joinCut := 1 - cfg.StatefulFraction/2
+	switch {
+	case inDeg >= 2 && roll >= joinCut:
+		spec.Impl = "bandjoin"
+		spec.Param = 0.001 // keep join output selectivity near 1
+		spec.WindowLen = 500
+	case roll < 0.60:
+		spec.Impl = statelessImpls[rng.Intn(len(statelessImpls))]
+		switch spec.Impl {
+		case "threshold-filter":
+			spec.Param = rng.FloatBetween(0.2, 0.8)
+		case "range-filter":
+			spec.Param = rng.FloatBetween(0.3, 0.9)
+		case "sampler":
+			spec.Param = rng.FloatBetween(0.2, 0.9)
+		case "scale", "affine":
+			spec.Param = rng.FloatBetween(0.5, 3)
+		case "splitter":
+			spec.K = rng.IntBetween(2, 4)
+		}
+	case roll < statefulCut:
+		spec.Impl = partitionedImpls[rng.Intn(len(partitionedImpls))]
+		if spec.Impl == "dedup" {
+			spec.Param = rng.FloatBetween(0.4, 0.9)
+		}
+		if spec.Impl == "wquantile" {
+			spec.Param = rng.FloatBetween(0.5, 0.99)
+		}
+	default:
+		spec.Impl = statefulImpls[rng.Intn(len(statefulImpls))]
+	}
+	return spec
+}
+
+func mustMeta(spec operators.Spec) operators.Meta {
+	op, err := operators.Build(spec)
+	if err != nil {
+		panic(fmt.Sprintf("randtopo: %v", err))
+	}
+	return op.Meta()
+}
+
+// Testbed generates n topologies from consecutive sub-seeds of seed,
+// mirroring the paper's 50-topology testbed.
+func Testbed(cfg Config, n int) ([]*Generated, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	out := make([]*Generated, 0, n)
+	for i := 0; i < n; i++ {
+		sub := cfg
+		sub.Seed = rng.Uint64()
+		g, err := Generate(sub)
+		if err != nil {
+			return nil, fmt.Errorf("testbed entry %d: %w", i, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// logUniform draws uniformly in log space between lo and hi, producing the
+// heavy spread of service times the paper's heterogeneous operators show.
+func logUniform(rng *stats.RNG, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	return lo * math.Pow(hi/lo, rng.Float64())
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func shuffle(rng *stats.RNG, xs []float64) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,201 @@
+package randtopo
+
+import (
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+)
+
+func TestGenerateValid(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		g, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		topo := g.Topology
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid topology: %v", seed, err)
+		}
+		if topo.Len() < 2 || topo.Len() > 20 {
+			t.Fatalf("seed %d: %d vertices, want [2, 20]", seed, topo.Len())
+		}
+		if len(g.Specs) != topo.Len() {
+			t.Fatalf("seed %d: %d specs for %d vertices", seed, len(g.Specs), topo.Len())
+		}
+		if topo.Source() != 0 {
+			t.Fatalf("seed %d: source is %d, want 0", seed, topo.Source())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topology.String() != b.Topology.String() {
+		t.Fatal("same seed produced different topologies")
+	}
+}
+
+func TestGenerateEdgeBounds(t *testing.T) {
+	for seed := uint64(100); seed < 160; seed++ {
+		g, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := g.Topology.Len()
+		e := g.Topology.NumEdges()
+		if e < v-1 {
+			t.Fatalf("seed %d: %d edges for %d vertices, want >= v-1", seed, e, v)
+		}
+		if e > v*(v-1)/2 {
+			t.Fatalf("seed %d: %d edges exceed the DAG maximum", seed, e)
+		}
+	}
+}
+
+func TestGenerateSizedBounds(t *testing.T) {
+	if _, err := GenerateSized(Config{Seed: 1}, 5, 11); err == nil {
+		t.Error("too many edges accepted")
+	}
+	if _, err := GenerateSized(Config{Seed: 1}, 5, 3); err == nil {
+		t.Error("too few edges accepted")
+	}
+	g, err := GenerateSized(Config{Seed: 1}, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topology.Len() != 8 {
+		t.Fatalf("vertices = %d, want 8", g.Topology.Len())
+	}
+	if g.Topology.NumEdges() < 9 {
+		t.Fatalf("edges = %d, want >= 9", g.Topology.NumEdges())
+	}
+}
+
+func TestJoinPlacementConstraint(t *testing.T) {
+	// Band-joins may only sit on vertices with >= 2 input edges.
+	for seed := uint64(0); seed < 200; seed++ {
+		g, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Topology.Len(); i++ {
+			if g.Specs[i].Impl == "bandjoin" && len(g.Topology.In(core.OpID(i))) < 2 {
+				t.Fatalf("seed %d: bandjoin on vertex %d with %d inputs",
+					seed, i, len(g.Topology.In(core.OpID(i))))
+			}
+		}
+	}
+}
+
+func TestSpecsAreBuildable(t *testing.T) {
+	g, err := Generate(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range g.Specs {
+		if spec.Impl == "source" {
+			continue
+		}
+		op, err := operators.Build(spec)
+		if err != nil {
+			t.Errorf("vertex %d: %v", i, err)
+			continue
+		}
+		// The topology's static profile must agree with the operator's.
+		meta := op.Meta()
+		tOp := g.Topology.Op(core.OpID(i))
+		if meta.Kind != tOp.Kind {
+			t.Errorf("vertex %d: kind mismatch %v vs %v", i, meta.Kind, tOp.Kind)
+		}
+		if meta.InputSelectivity != tOp.InputSelectivity {
+			t.Errorf("vertex %d: input selectivity mismatch", i)
+		}
+	}
+}
+
+func TestPartitionedOperatorsHaveKeys(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Topology.Len(); i++ {
+			op := g.Topology.Op(core.OpID(i))
+			if op.Kind == core.KindPartitionedStateful {
+				if op.Keys == nil {
+					t.Fatalf("seed %d vertex %d: partitioned-stateful without keys", seed, i)
+				}
+				if err := op.Keys.Validate(); err != nil {
+					t.Fatalf("seed %d vertex %d: %v", seed, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSourceFasterThanFastestOperator(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		g, err := Generate(Config{Seed: seed, SourceFactor: 1.33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcRate := g.Topology.Op(0).Rate()
+		fastest := 0.0
+		for i := 1; i < g.Topology.Len(); i++ {
+			if r := g.Topology.Op(core.OpID(i)).Rate(); r > fastest {
+				fastest = r
+			}
+		}
+		if srcRate < fastest {
+			t.Fatalf("seed %d: source rate %v below fastest operator %v", seed, srcRate, fastest)
+		}
+	}
+}
+
+func TestEveryGeneratedTopologyIsAnalyzable(t *testing.T) {
+	bed, err := Testbed(Config{Seed: 42}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bed) != 50 {
+		t.Fatalf("testbed size = %d, want 50", len(bed))
+	}
+	bottlenecked := 0
+	for i, g := range bed {
+		a, err := core.SteadyState(g.Topology)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if a.Throughput() <= 0 {
+			t.Fatalf("entry %d: throughput %v", i, a.Throughput())
+		}
+		if a.Bottlenecked() {
+			bottlenecked++
+		}
+	}
+	// With the source 33% faster than the fastest operator, every topology
+	// should experience backpressure somewhere.
+	if bottlenecked < len(bed)*9/10 {
+		t.Errorf("only %d/%d topologies bottlenecked; setup should force backpressure", bottlenecked, len(bed))
+	}
+}
+
+func TestTestbedEntriesDiffer(t *testing.T) {
+	bed, err := Testbed(Config{Seed: 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(bed); i++ {
+		if bed[i].Topology.String() == bed[0].Topology.String() {
+			t.Fatalf("entries 0 and %d identical", i)
+		}
+	}
+}

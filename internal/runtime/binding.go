@@ -1,0 +1,284 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/plan"
+	"spinstreams/internal/stats"
+)
+
+// Binding supplies the executable implementations behind a plan's logical
+// operators: ordinary operators by prototype (replicas are Cloned), and
+// meta-operators for vertices produced by fusion.
+type Binding struct {
+	// Ops maps logical operator IDs to implementation prototypes. Worker
+	// stations clone their prototype, so replicas never share state.
+	Ops map[core.OpID]operators.Operator
+	// Meta maps fused vertices to their meta-operators.
+	Meta map[core.OpID]*MetaOperator
+}
+
+// Bind builds a binding from per-operator specs (e.g. randtopo.Generated):
+// specs[i] configures logical operator i; source entries and empty Impls
+// are skipped.
+func Bind(t *core.Topology, specs []operators.Spec) (*Binding, error) {
+	b := &Binding{Ops: make(map[core.OpID]operators.Operator)}
+	for i, spec := range specs {
+		if spec.Impl == "" || spec.Impl == "source" {
+			continue
+		}
+		op, err := operators.Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bind operator %d: %w", i, err)
+		}
+		b.Ops[core.OpID(i)] = op
+	}
+	_ = t
+	return b, nil
+}
+
+func (b *Binding) validate(p *plan.Plan) error {
+	for id := range b.Meta {
+		if int(id) >= len(p.EntryOf) {
+			return fmt.Errorf("runtime: meta binding for unknown operator %d", id)
+		}
+	}
+	for id := range b.Ops {
+		if int(id) >= len(p.EntryOf) {
+			return fmt.Errorf("runtime: binding for unknown operator %d", id)
+		}
+	}
+	return nil
+}
+
+// executor returns the per-station processing function and whether it
+// paces itself. Emitters and collectors forward items unchanged; workers
+// apply their bound operator (cloned per station) or meta-operator;
+// unbound workers pass through. Meta-operators pad internally to the
+// per-item path cost (Algorithm 4), so the station loop must not pad them
+// again to the fused mean.
+func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tuple, *[]routed), selfPaced bool) {
+	switch st.Role {
+	case plan.RoleEmitter:
+		if cfg.PreserveOrder && stationGain(st) == 1 {
+			// Stamp each item with the emitter's own sequence so the
+			// collector can restore order after the parallel replicas.
+			var seq uint64
+			return func(in operators.Tuple, outs *[]routed) {
+				seq++
+				in.Seq = seq
+				*outs = append(*outs, routed{tuple: in, dest: -1})
+			}, false
+		}
+		return forward, false
+	case plan.RoleCollector:
+		if cfg.PreserveOrder && stationGain(st) == 1 {
+			next := uint64(1)
+			held := make(map[uint64]operators.Tuple)
+			return func(in operators.Tuple, outs *[]routed) {
+				held[in.Seq] = in
+				for {
+					t, ok := held[next]
+					if !ok {
+						return
+					}
+					delete(held, next)
+					next++
+					*outs = append(*outs, routed{tuple: t, dest: -1})
+				}
+			}, false
+		}
+		return forward, false
+	}
+	if b.Meta != nil {
+		if m, ok := b.Meta[st.Op]; ok {
+			inst := m.instance(cfg)
+			return inst.process, true
+		}
+	}
+	if b.Ops != nil {
+		if proto, ok := b.Ops[st.Op]; ok {
+			op := proto.Clone()
+			return func(in operators.Tuple, outs *[]routed) {
+				op.Process(in, func(t operators.Tuple) {
+					*outs = append(*outs, routed{tuple: t, dest: -1})
+				})
+			}, false
+		}
+	}
+	// Unbound worker: emulate the station's profiled selectivity exactly,
+	// like the simulator does — a deterministic credit accumulator emits
+	// floor(credit) items per input, so the live queueing network carries
+	// the steady-state rates the cost model was given even when no
+	// business logic is attached.
+	if st.Gain != 1 && st.Gain > 0 {
+		credit := 0.0
+		gain := st.Gain
+		return func(in operators.Tuple, outs *[]routed) {
+			credit += gain
+			for credit >= 1 {
+				credit--
+				*outs = append(*outs, routed{tuple: in, dest: -1})
+			}
+		}, false
+	}
+	return func(in operators.Tuple, outs *[]routed) {
+		*outs = append(*outs, routed{tuple: in, dest: -1})
+	}, false
+}
+
+// forward passes items through unchanged (plain emitters and collectors).
+func forward(in operators.Tuple, outs *[]routed) {
+	*outs = append(*outs, routed{tuple: in, dest: -1})
+}
+
+// stationGain is the logical operator's rate multiplier carried on emitter
+// and collector stations; order restoration is sound only at unit gain.
+func stationGain(st *plan.Station) float64 {
+	in, out := st.InputSelectivity, st.OutputSelectivity
+	if in <= 0 {
+		in = 1
+	}
+	if out <= 0 {
+		out = 1
+	}
+	return out / in
+}
+
+// MetaOperator executes a fused subgraph inside one actor, per Algorithm 4
+// of the paper: each input item is processed by the front-end operator;
+// results headed to members of the subgraph are processed in turn by those
+// members' functions (following the subgraph's routing), and results headed
+// outside are emitted to the corresponding operator of the fused topology.
+type MetaOperator struct {
+	// Sub is the original (pre-fusion) topology.
+	Sub *core.Topology
+	// Members are the fused vertices (IDs in Sub); Front is the unique
+	// front-end.
+	Members []core.OpID
+	Front   core.OpID
+	// Prototypes supplies each member's implementation.
+	Prototypes map[core.OpID]operators.Operator
+	// SurvivorIDs translates external destinations from Sub IDs to IDs in
+	// the fused topology (FusionReport.SurvivorIDs).
+	SurvivorIDs map[core.OpID]core.OpID
+	// Seed drives the internal probabilistic routing.
+	Seed uint64
+}
+
+// NewMetaOperator builds the meta-operator for a fusion performed on sub.
+func NewMetaOperator(sub *core.Topology, report *core.FusionReport, protos map[core.OpID]operators.Operator, seed uint64) (*MetaOperator, error) {
+	if report == nil {
+		return nil, fmt.Errorf("runtime: nil fusion report")
+	}
+	for _, m := range report.Members {
+		if _, ok := protos[m]; !ok {
+			return nil, fmt.Errorf("runtime: missing prototype for fused member %q", sub.Op(m).Name)
+		}
+	}
+	return &MetaOperator{
+		Sub:         sub,
+		Members:     report.Members,
+		Front:       report.FrontEnd,
+		Prototypes:  protos,
+		SurvivorIDs: report.SurvivorIDs,
+		Seed:        seed,
+	}, nil
+}
+
+// metaInstance is the per-actor instantiation: cloned member operators plus
+// routing state.
+type metaInstance struct {
+	m       *MetaOperator
+	ops     map[core.OpID]operators.Operator
+	members map[core.OpID]bool
+	rng     *stats.RNG
+	// sched paces the whole meta-operator: each item is padded to the sum
+	// of the service times of the members it traversed.
+	sched *pacer
+	// work is the traversal queue of (vertex, tuple) pairs.
+	work []metaItem
+}
+
+type metaItem struct {
+	at  core.OpID
+	tup operators.Tuple
+}
+
+func (m *MetaOperator) instance(cfg Config) *metaInstance {
+	inst := &metaInstance{
+		m:       m,
+		ops:     make(map[core.OpID]operators.Operator, len(m.Members)),
+		members: make(map[core.OpID]bool, len(m.Members)),
+		rng:     stats.NewRNG(m.Seed + 0xfeed),
+	}
+	if !cfg.NoServicePadding {
+		inst.sched = newPacer(0)
+	}
+	for _, id := range m.Members {
+		inst.ops[id] = m.Prototypes[id].Clone()
+		inst.members[id] = true
+	}
+	return inst
+}
+
+// process runs Algorithm 4 for one input item: the front-end's function is
+// applied first and results flowing to other members are processed in
+// turn, so the item's cost is the sequential composition of the member
+// functions along its path. The subgraph is acyclic, so the traversal
+// always terminates.
+func (mi *metaInstance) process(in operators.Tuple, outs *[]routed) {
+	started := time.Now()
+	var pathCost float64
+	mi.work = mi.work[:0]
+	mi.work = append(mi.work, metaItem{at: mi.m.Front, tup: in})
+	for len(mi.work) > 0 {
+		item := mi.work[0]
+		mi.work = mi.work[1:]
+		op := mi.ops[item.at]
+		pathCost += mi.m.Sub.Op(item.at).ServiceTime
+		op.Process(item.tup, func(t operators.Tuple) {
+			dest := mi.route(item.at, t)
+			if dest < 0 {
+				return
+			}
+			if mi.members[dest] {
+				mi.work = append(mi.work, metaItem{at: dest, tup: t})
+				return
+			}
+			fusedID, ok := mi.m.SurvivorIDs[dest]
+			if !ok {
+				return
+			}
+			*outs = append(*outs, routed{tuple: t, dest: fusedID})
+		})
+	}
+	if mi.sched != nil {
+		mi.sched.waitFor(started, time.Duration(pathCost*float64(time.Second)))
+	}
+}
+
+// route samples the destination of one output of member v using the
+// original subgraph's edge probabilities.
+func (mi *metaInstance) route(v core.OpID, t operators.Tuple) core.OpID {
+	out := mi.m.Sub.Out(v)
+	if len(out) == 0 {
+		return -1
+	}
+	if len(out) == 1 {
+		return out[0].To
+	}
+	_ = t
+	u := mi.rng.Float64()
+	acc := 0.0
+	for _, e := range out {
+		acc += e.Prob
+		if u < acc {
+			return e.To
+		}
+	}
+	return out[len(out)-1].To
+}

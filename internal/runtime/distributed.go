@@ -1,0 +1,305 @@
+package runtime
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spinstreams/internal/operators"
+	"spinstreams/internal/plan"
+	"spinstreams/internal/stats"
+)
+
+// DistributedConfig tunes a distributed execution: the plan's stations are
+// partitioned across nodes that exchange stream items over TCP — the
+// analog of running the generated application on Akka's Remoting layer,
+// which the paper names as its first future-work direction (Section 7).
+//
+// Backpressure keeps the Blocking-After-Service semantics across the
+// network: a receiving node pushes incoming items into the target
+// station's bounded mailbox with a blocking send, so when the mailbox
+// fills the TCP reader stalls, the socket's flow-control window closes,
+// and the remote sender's write blocks — exactly the stall the cost model
+// assumes, with the socket buffers acting as a small amount of extra
+// mailbox capacity (kept tight via SetReadBuffer/SetWriteBuffer).
+type DistributedConfig struct {
+	Config
+	// Nodes is the number of nodes to partition the plan across
+	// (default 2). Nodes run in-process but exchange items over real
+	// loopback TCP connections.
+	Nodes int
+	// Assignment maps each station to its home node; nil assigns whole
+	// logical operators round-robin so replicas stay with their emitter
+	// and collector.
+	Assignment []int
+}
+
+// AssignByOperator maps stations to nodes so that all stations of a
+// logical operator (emitter, replicas, collector) are co-located, with
+// operators distributed round-robin.
+func AssignByOperator(p *plan.Plan, nodes int) []int {
+	if nodes < 1 {
+		nodes = 1
+	}
+	asg := make([]int, len(p.Stations))
+	for i, st := range p.Stations {
+		asg[i] = int(st.Op) % nodes
+	}
+	return asg
+}
+
+// wire is the gob frame exchanged between nodes.
+type wire struct {
+	Tuple operators.Tuple
+}
+
+// handshake opens a cross-node stream for one physical edge.
+type handshake struct {
+	From   plan.StationID
+	Target plan.StationID
+}
+
+// RunDistributed executes the plan partitioned across TCP-connected nodes
+// and reports the same metrics as Run. Meta-operators and bound operators
+// execute on the station's home node.
+func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg DistributedConfig) (*Metrics, error) {
+	if p == nil || len(p.Stations) == 0 {
+		return nil, errors.New("runtime: empty plan")
+	}
+	base, err := cfg.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Config = base
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Assignment == nil {
+		cfg.Assignment = AssignByOperator(p, cfg.Nodes)
+	}
+	if len(cfg.Assignment) != len(p.Stations) {
+		return nil, fmt.Errorf("runtime: assignment covers %d stations, plan has %d",
+			len(cfg.Assignment), len(p.Stations))
+	}
+	for sid, node := range cfg.Assignment {
+		if node < 0 || node >= cfg.Nodes {
+			return nil, fmt.Errorf("runtime: station %d assigned to invalid node %d", sid, node)
+		}
+	}
+	if binding == nil {
+		binding = &Binding{}
+	}
+	if err := binding.validate(p); err != nil {
+		return nil, err
+	}
+
+	d := &distEngine{
+		engine:     *newEngine(p, binding, cfg.Config),
+		assignment: cfg.Assignment,
+		nodes:      cfg.Nodes,
+	}
+	d.engine.sendFn = d.send
+
+	if err := d.connect(); err != nil {
+		d.shutdownTransport()
+		return nil, err
+	}
+	metrics, err := d.run(ctx)
+	d.shutdownTransport()
+	return metrics, err
+}
+
+// distEngine extends the local engine with the TCP data plane.
+type distEngine struct {
+	engine
+	assignment []int
+	nodes      int
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     []net.Conn
+	// senders maps station ID -> target station ID -> remote outbox.
+	senders map[plan.StationID]map[plan.StationID]*remoteOutbox
+	readers sync.WaitGroup
+}
+
+type remoteOutbox struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+func (o *remoteOutbox) send(t operators.Tuple) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.enc.Encode(wire{Tuple: t})
+}
+
+// connect builds listeners per node and dials one stream per cross-node
+// physical edge.
+func (d *distEngine) connect() error {
+	addrs := make([]string, d.nodes)
+	for n := 0; n < d.nodes; n++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("runtime: node %d listen: %w", n, err)
+		}
+		d.listeners = append(d.listeners, ln)
+		addrs[n] = ln.Addr().String()
+		go d.acceptLoop(ln)
+	}
+
+	d.senders = make(map[plan.StationID]map[plan.StationID]*remoteOutbox)
+	for i := range d.p.Stations {
+		from := plan.StationID(i)
+		for _, e := range d.p.Stations[i].Out {
+			if d.assignment[from] == d.assignment[e.To] {
+				continue
+			}
+			conn, err := net.Dial("tcp", addrs[d.assignment[e.To]])
+			if err != nil {
+				return fmt.Errorf("runtime: dial edge %d->%d: %w", from, e.To, err)
+			}
+			tuneConn(conn)
+			d.mu.Lock()
+			d.conns = append(d.conns, conn)
+			d.mu.Unlock()
+			enc := gob.NewEncoder(conn)
+			if err := enc.Encode(handshake{From: from, Target: e.To}); err != nil {
+				return fmt.Errorf("runtime: handshake edge %d->%d: %w", from, e.To, err)
+			}
+			if d.senders[from] == nil {
+				d.senders[from] = make(map[plan.StationID]*remoteOutbox)
+			}
+			// The same encoder carries the handshake and the payload so
+			// the byte stream stays aligned with the receiver's single
+			// decoder.
+			d.senders[from][e.To] = &remoteOutbox{conn: conn, enc: enc}
+		}
+	}
+	return nil
+}
+
+// tuneConn shrinks the socket buffers so network buffering adds as little
+// effective mailbox capacity as possible.
+func tuneConn(conn net.Conn) {
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		_ = tcp.SetReadBuffer(4 << 10)
+		_ = tcp.SetWriteBuffer(4 << 10)
+		_ = tcp.SetNoDelay(true)
+	}
+}
+
+// acceptLoop receives cross-node streams for one node.
+func (d *distEngine) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		tuneConn(conn)
+		d.mu.Lock()
+		d.conns = append(d.conns, conn)
+		d.mu.Unlock()
+		d.readers.Add(1)
+		go d.readLoop(conn)
+	}
+}
+
+// readLoop decodes items from one incoming stream and pushes them into the
+// target mailbox. The blocking push is what propagates backpressure onto
+// the TCP stream.
+func (d *distEngine) readLoop(conn net.Conn) {
+	defer d.readers.Done()
+	dec := gob.NewDecoder(conn)
+	var hs handshake
+	if err := dec.Decode(&hs); err != nil {
+		return
+	}
+	if int(hs.Target) < 0 || int(hs.Target) >= len(d.mailboxes) {
+		return
+	}
+	for {
+		var w wire
+		if err := dec.Decode(&w); err != nil {
+			return
+		}
+		select {
+		case d.mailboxes[hs.Target] <- w.Tuple:
+			// Both ends of the edge are counted here: emission is only
+			// final once the item clears the network and lands in the
+			// target mailbox (TCP windowing makes sender-side counts
+			// bursty).
+			d.arrived[hs.Target].Add(1)
+			if int(hs.From) >= 0 && int(hs.From) < len(d.emitted) {
+				d.emitted[hs.From].Add(1)
+			}
+		case <-d.done:
+			return
+		}
+	}
+}
+
+// shutdownTransport closes the data plane.
+func (d *distEngine) shutdownTransport() {
+	d.mu.Lock()
+	for _, ln := range d.listeners {
+		ln.Close()
+	}
+	for _, c := range d.conns {
+		c.Close()
+	}
+	d.mu.Unlock()
+	d.readers.Wait()
+}
+
+// send routes one item: cross-node edges go over TCP, everything else
+// through the in-process mailbox.
+func (d *distEngine) send(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool {
+	if outs := d.senders[from]; outs != nil {
+		if ob := outs[edge.To]; ob != nil {
+			select {
+			case <-d.done:
+				return false
+			default:
+			}
+			if err := ob.send(t); err != nil {
+				return false
+			}
+			// Emission and arrival are counted on the receiving node's
+			// read loop, once the item clears the network.
+			return true
+		}
+	}
+	return d.localSend(from, edge, t)
+}
+
+// run starts the actors and measures, mirroring the local engine but
+// unblocking TCP writers on shutdown.
+func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
+	rng := stats.NewRNG(d.cfg.Seed + 0x517c)
+	for i := range d.p.Stations {
+		st := &d.p.Stations[i]
+		d.wg.Add(1)
+		go d.runStation(st, rng.Uint64())
+	}
+	sleepCtx(ctx, d.cfg.Warmup)
+	snap1 := d.snapshotAll()
+	start := time.Now()
+	sleepCtx(ctx, d.cfg.Duration-d.cfg.Warmup)
+	snap2 := d.snapshotAll()
+	window := time.Since(start).Seconds()
+	close(d.done)
+	// Waking actors stalled inside TCP writes: expire every connection.
+	d.mu.Lock()
+	for _, c := range d.conns {
+		_ = c.SetDeadline(time.Now())
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+	return d.buildMetrics(window, snap1, snap2), nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports whether the race detector is active; timing-based
+// tests widen their tolerances under its 5-20x slowdown.
+const raceEnabled = false

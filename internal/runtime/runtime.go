@@ -1,0 +1,510 @@
+// Package runtime executes SpinStreams physical plans on goroutines: the
+// repo's analog of the paper's SS2Akka layer on the Akka actor runtime
+// (Section 4.2). Each station runs as one goroutine (an actor) with a
+// bounded channel as its mailbox; a send into a full mailbox blocks the
+// sender, which is exactly the Blocking-After-Service semantics the cost
+// models assume. Replicated operators execute behind emitter and collector
+// actors; fused subgraphs execute inside a single meta-operator actor per
+// Algorithm 4.
+//
+// Because operators' real compute cost is far below the profiled service
+// times the experiments assign, workers pad each item to the station's
+// service time with a timed wait. Sleeping actors overlap freely, so the
+// measured behaviour matches a deployment with one core per actor even on
+// a small host (see DESIGN.md, substitutions).
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/plan"
+	"spinstreams/internal/stats"
+)
+
+// Config tunes an execution.
+type Config struct {
+	// MailboxSize is the bounded mailbox capacity (default 64).
+	MailboxSize int
+	// Duration is the total run length (default 3s).
+	Duration time.Duration
+	// Warmup is the prefix excluded from measurement (default Duration/4).
+	Warmup time.Duration
+	// Seed drives probabilistic routing and the default source generator.
+	Seed uint64
+	// Generator produces source tuples; nil uses a default generator
+	// derived from Seed.
+	Generator *operators.Generator
+	// NoServicePadding disables padding items to the stations' profiled
+	// service times; operators then run at raw compute speed. Useful for
+	// functional tests.
+	NoServicePadding bool
+	// OnSink, when set, observes every result leaving the topology
+	// through a sink operator. It is invoked from sink actor goroutines
+	// and must be safe for concurrent use and fast.
+	OnSink func(op core.OpID, t operators.Tuple)
+	// SendTimeout bounds how long a blocked send into a full mailbox may
+	// stall before the item is discarded — exactly Akka's BoundedMailbox
+	// enqueue timeout (the paper sets it far above the service times so
+	// no item is ever dropped; a zero value here means block forever,
+	// i.e. pure backpressure). Small values yield load-shedding
+	// semantics.
+	SendTimeout time.Duration
+	// PreserveOrder makes the collectors of replicated operators restore
+	// the emitters' sequential order (the "proper approaches for item
+	// scheduling and collection, to preserve the sequential ordering" the
+	// paper mentions for pipelined fission). It applies only to operators
+	// with unit gain — with selectivity, replicas drop or multiply items
+	// and a sequence-based reorder buffer would stall.
+	PreserveOrder bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MailboxSize <= 0 {
+		c.MailboxSize = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Warmup <= 0 || c.Warmup >= c.Duration {
+		c.Warmup = c.Duration / 4
+	}
+	if c.Generator == nil {
+		g, err := operators.NewGenerator(operators.GeneratorConfig{Seed: c.Seed + 1})
+		if err != nil {
+			return c, err
+		}
+		c.Generator = g
+	}
+	return c, nil
+}
+
+// Metrics reports the measured steady-state behaviour of a run.
+type Metrics struct {
+	// Throughput is the measured source departure rate in items/s (the
+	// paper's topology throughput).
+	Throughput float64
+	// Departure and Arrival are measured rates per logical operator.
+	Departure []float64
+	Arrival   []float64
+	// Processed is the total number of items consumed by all stations in
+	// the measurement window.
+	Processed uint64
+	// MeasuredSeconds is the length of the measurement window.
+	MeasuredSeconds float64
+	// Dropped is the rate of items discarded at each logical operator's
+	// entry mailbox (items/s); non-zero only with a SendTimeout.
+	Dropped []float64
+	// Stations reports per-station consumption and emission rates
+	// (replicas, emitters and collectors included).
+	Stations []StationMetrics
+}
+
+// StationMetrics is one physical station's measured behaviour.
+type StationMetrics struct {
+	// Name is the station name (e.g. "hot/replica2").
+	Name string
+	// Role is the station's role in the plan.
+	Role plan.Role
+	// Consumed and Emitted count items over the measurement window.
+	Consumed, Emitted uint64
+	// ConsumeRate and EmitRate are the corresponding rates in items/s.
+	ConsumeRate, EmitRate float64
+}
+
+// routed couples an output tuple with an optional explicit logical
+// destination (meta-operators choose destinations themselves; -1 lets the
+// station's routing discipline decide).
+type routed struct {
+	tuple operators.Tuple
+	dest  core.OpID
+}
+
+// engine is one execution of a plan.
+type engine struct {
+	p         *plan.Plan
+	cfg       Config
+	binding   *Binding
+	mailboxes []chan operators.Tuple
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	// sendFn delivers one routed item along a physical edge; the local
+	// engine pushes into the in-process mailbox, the distributed engine
+	// routes cross-node edges over TCP. It returns false on shutdown.
+	sendFn func(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool
+
+	consumed []atomic.Uint64
+	emitted  []atomic.Uint64
+	arrived  []atomic.Uint64
+	dropped  []atomic.Uint64
+}
+
+// newEngine allocates the shared engine state.
+func newEngine(p *plan.Plan, binding *Binding, cfg Config) *engine {
+	e := &engine{
+		p:         p,
+		cfg:       cfg,
+		binding:   binding,
+		mailboxes: make([]chan operators.Tuple, len(p.Stations)),
+		done:      make(chan struct{}),
+		consumed:  make([]atomic.Uint64, len(p.Stations)),
+		emitted:   make([]atomic.Uint64, len(p.Stations)),
+		arrived:   make([]atomic.Uint64, len(p.Stations)),
+		dropped:   make([]atomic.Uint64, len(p.Stations)),
+	}
+	for i := range e.mailboxes {
+		e.mailboxes[i] = make(chan operators.Tuple, cfg.MailboxSize)
+	}
+	e.sendFn = e.localSend
+	return e
+}
+
+// localSend pushes into the in-process mailbox, blocking on a full buffer
+// (BAS) until shutdown — or, with a SendTimeout configured, discarding the
+// item once the timeout expires (Akka's BoundedMailbox semantics).
+func (e *engine) localSend(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool {
+	if e.cfg.SendTimeout > 0 {
+		// Fast path first: an immediate slot avoids the timer.
+		select {
+		case e.mailboxes[edge.To] <- t:
+			e.emitted[from].Add(1)
+			e.arrived[edge.To].Add(1)
+			return true
+		default:
+		}
+		timer := time.NewTimer(e.cfg.SendTimeout)
+		defer timer.Stop()
+		select {
+		case e.mailboxes[edge.To] <- t:
+			e.emitted[from].Add(1)
+			e.arrived[edge.To].Add(1)
+			return true
+		case <-timer.C:
+			e.emitted[from].Add(1)
+			e.dropped[edge.To].Add(1)
+			return true
+		case <-e.done:
+			return false
+		}
+	}
+	select {
+	case e.mailboxes[edge.To] <- t:
+		e.emitted[from].Add(1)
+		e.arrived[edge.To].Add(1)
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// Run executes the plan for cfg.Duration and reports steady-state metrics.
+// The binding supplies operator implementations per logical operator; a nil
+// binding runs every non-source station as a pass-through (pure queueing
+// behaviour, still faithful to the cost model).
+func Run(ctx context.Context, p *plan.Plan, binding *Binding, cfg Config) (*Metrics, error) {
+	if p == nil || len(p.Stations) == 0 {
+		return nil, errors.New("runtime: empty plan")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if binding == nil {
+		binding = &Binding{}
+	}
+	if err := binding.validate(p); err != nil {
+		return nil, err
+	}
+	e := newEngine(p, binding, cfg)
+	return e.execute(ctx)
+}
+
+// execute starts the actors, measures the steady-state window and builds
+// the metrics; shared by the local and distributed engines.
+func (e *engine) execute(ctx context.Context) (*Metrics, error) {
+	rng := stats.NewRNG(e.cfg.Seed + 0x9e37)
+	for i := range e.p.Stations {
+		st := &e.p.Stations[i]
+		e.wg.Add(1)
+		go e.runStation(st, rng.Uint64())
+	}
+
+	// Warmup, snapshot, measure, snapshot, stop.
+	sleepCtx(ctx, e.cfg.Warmup)
+	snap1 := e.snapshotAll()
+	start := time.Now()
+	sleepCtx(ctx, e.cfg.Duration-e.cfg.Warmup)
+	snap2 := e.snapshotAll()
+	window := time.Since(start).Seconds()
+	close(e.done)
+	e.wg.Wait()
+	return e.buildMetrics(window, snap1, snap2), nil
+}
+
+// counterSnapshot is one point-in-time view of all station counters.
+type counterSnapshot struct {
+	consumed, emitted, arrived, dropped []uint64
+}
+
+func (e *engine) snapshotAll() counterSnapshot {
+	n := len(e.p.Stations)
+	s := counterSnapshot{
+		consumed: make([]uint64, n),
+		emitted:  make([]uint64, n),
+		arrived:  make([]uint64, n),
+		dropped:  make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.consumed[i] = e.consumed[i].Load()
+		s.emitted[i] = e.emitted[i].Load()
+		s.arrived[i] = e.arrived[i].Load()
+		s.dropped[i] = e.dropped[i].Load()
+	}
+	return s
+}
+
+// buildMetrics aggregates the two counter snapshots into per-operator and
+// per-station rates.
+func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Metrics {
+	p := e.p
+	m := &Metrics{
+		Departure:       make([]float64, len(p.WorkersOf)),
+		Arrival:         make([]float64, len(p.WorkersOf)),
+		Dropped:         make([]float64, len(p.WorkersOf)),
+		MeasuredSeconds: window,
+		Stations:        make([]StationMetrics, len(p.Stations)),
+	}
+	for i := range p.Stations {
+		consumed := snap2.consumed[i] - snap1.consumed[i]
+		emitted := snap2.emitted[i] - snap1.emitted[i]
+		m.Processed += consumed
+		m.Stations[i] = StationMetrics{
+			Name:        p.Stations[i].Name,
+			Role:        p.Stations[i].Role,
+			Consumed:    consumed,
+			Emitted:     emitted,
+			ConsumeRate: float64(consumed) / window,
+			EmitRate:    float64(emitted) / window,
+		}
+	}
+	for op := range p.WorkersOf {
+		outSide := p.WorkersOf[op]
+		if c := p.CollectorOf[op]; c >= 0 {
+			outSide = []plan.StationID{c}
+		}
+		var emitted uint64
+		for _, sid := range outSide {
+			emitted += snap2.emitted[sid] - snap1.emitted[sid]
+		}
+		m.Departure[op] = float64(emitted) / window
+		if entry := p.EntryOf[op]; entry >= 0 {
+			m.Arrival[op] = float64(snap2.arrived[entry]-snap1.arrived[entry]) / window
+			m.Dropped[op] = float64(snap2.dropped[entry]-snap1.dropped[entry]) / window
+		}
+	}
+	m.Throughput = m.Departure[p.Stations[p.SourceID].Op]
+	return m
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// runStation is the actor loop.
+func (e *engine) runStation(st *plan.Station, seed uint64) {
+	defer e.wg.Done()
+	rng := stats.NewRNG(seed)
+	rr := 0
+	outs := make([]routed, 0, 8)
+
+	exec, selfPaced := e.binding.executor(st, e.cfg)
+	if st.Role == plan.RoleSource {
+		e.runSource(st, rng)
+		return
+	}
+	pace := newPacer(st.ServiceTime)
+	for {
+		var tup operators.Tuple
+		select {
+		case <-e.done:
+			return
+		case tup = <-e.mailboxes[st.ID]:
+		}
+		started := time.Now()
+		outs = outs[:0]
+		exec(tup, &outs)
+		if !e.cfg.NoServicePadding && !selfPaced {
+			pace.wait(started)
+		}
+		e.consumed[st.ID].Add(1)
+		if len(st.Out) == 0 {
+			// Sink: results leave the system.
+			e.emitted[st.ID].Add(uint64(len(outs)))
+			if e.cfg.OnSink != nil {
+				for _, o := range outs {
+					e.cfg.OnSink(st.Op, o.tuple)
+				}
+			}
+			continue
+		}
+		if !e.flush(st, outs, rng, &rr) {
+			return
+		}
+	}
+}
+
+// runSource generates the input stream at the source's service rate,
+// subject to backpressure on its output mailboxes.
+func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
+	rr := 0
+	pace := newPacer(st.ServiceTime)
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		started := time.Now()
+		tup := e.cfg.Generator.Next()
+		if !e.cfg.NoServicePadding {
+			pace.wait(started)
+		}
+		e.consumed[st.ID].Add(1)
+		if !e.flush(st, []routed{{tuple: tup, dest: -1}}, rng, &rr) {
+			return
+		}
+	}
+}
+
+// flush delivers outputs downstream; a full mailbox blocks (BAS). It
+// returns false when the engine is shutting down.
+func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int) bool {
+	for _, o := range outs {
+		edge := e.pickEdge(st, o, rng, rr)
+		if edge == nil {
+			continue
+		}
+		t := o.tuple
+		t.Port = edge.Port
+		if !e.sendFn(st.ID, edge, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickEdge selects the output edge for one item per the station's routing
+// discipline, or honors an explicit meta-operator destination.
+func (e *engine) pickEdge(st *plan.Station, o routed, rng *stats.RNG, rr *int) *plan.Edge {
+	out := st.Out
+	if len(out) == 0 {
+		return nil
+	}
+	if o.dest >= 0 {
+		entry := e.p.EntryOf[o.dest]
+		for i := range out {
+			if out[i].To == entry {
+				return &out[i]
+			}
+		}
+		return nil
+	}
+	if len(out) == 1 {
+		return &out[0]
+	}
+	switch st.Discipline {
+	case plan.RoundRobin:
+		edge := &out[*rr%len(out)]
+		*rr++
+		return edge
+	case plan.KeyHash:
+		if n := len(st.KeyReplica); n > 0 {
+			r := st.KeyReplica[int(o.tuple.Key)%n]
+			if r >= 0 && r < len(out) {
+				return &out[r]
+			}
+		}
+		return &out[int(o.tuple.Key)%len(out)]
+	default:
+		u := rng.Float64()
+		acc := 0.0
+		for i := range out {
+			acc += out[i].Prob
+			if u < acc {
+				return &out[i]
+			}
+		}
+		return &out[len(out)-1]
+	}
+}
+
+// pacer stretches item handling to a station's profiled service time.
+// Naive per-item sleeps accumulate the kernel's wakeup overshoot (up to a
+// few milliseconds per sleep on coarse-tick hosts) into a large rate
+// error; the pacer instead tracks an absolute completion schedule and
+// compensates overshoot by skipping sleeps on subsequent items. The
+// schedule may lag by at most slack before it resets, so an actor that
+// idled (empty mailbox) or stalled (backpressure) cannot bank that time
+// as service capacity beyond a short catch-up burst.
+type pacer struct {
+	next   time.Time
+	period time.Duration
+	slack  time.Duration
+}
+
+func newPacer(serviceTime float64) *pacer {
+	period := time.Duration(serviceTime * float64(time.Second))
+	slack := 2 * period
+	// The slack must exceed the worst-case single-sleep overshoot, or
+	// sub-overshoot periods would reset the schedule on every item and
+	// run at the kernel tick rate instead of the service rate.
+	if min := 10 * time.Millisecond; slack < min {
+		slack = min
+	}
+	return &pacer{period: period, slack: slack}
+}
+
+// wait blocks until the schedule allows the next completion; started is the
+// time this item's service began.
+func (p *pacer) wait(started time.Time) {
+	p.waitFor(started, p.period)
+}
+
+// waitFor paces one item whose service time differs from the configured
+// period; meta-operators use it with the per-item path cost (Algorithm 4:
+// the sequential composition of the member functions along the item's
+// path).
+func (p *pacer) waitFor(started time.Time, period time.Duration) {
+	if period <= 0 {
+		return
+	}
+	if p.next.IsZero() || started.Sub(p.next) > p.slack {
+		p.next = started
+	}
+	p.next = p.next.Add(period)
+	if d := time.Until(p.next); d > 20*time.Microsecond {
+		time.Sleep(d)
+	}
+}
+
+// RunTopology is a convenience wrapper: it plans the topology with the
+// given replication degrees, binds operator implementations, and runs it.
+func RunTopology(ctx context.Context, t *core.Topology, replicas []int, binding *Binding, cfg Config) (*Metrics, error) {
+	p, err := plan.Build(t, plan.Options{Replicas: replicas})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	return Run(ctx, p, binding, cfg)
+}

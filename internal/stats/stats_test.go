@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d times", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("value %d frequency %v, want ~0.1", v, got)
+		}
+	}
+}
+
+func TestRNGIntBetween(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.IntBetween(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntBetween(5,9) = %d", v)
+		}
+	}
+	if v := r.IntBetween(7, 7); v != 7 {
+		t.Fatalf("IntBetween(7,7) = %d", v)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.5)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f := r.Fork()
+	if r.Uint64() == f.Uint64() {
+		t.Error("forked stream mirrors parent")
+	}
+}
+
+func TestZipfProbabilities(t *testing.T) {
+	z, err := NewZipf(NewRNG(6), 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := z.Probabilities()
+	sum := 0.0
+	for i, p := range probs {
+		sum += p
+		if i > 0 && p > probs[i-1]+1e-12 {
+			t.Errorf("probabilities not decreasing at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfSampleMatchesPMF(t *testing.T) {
+	z, err := NewZipf(NewRNG(7), 8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	counts := make([]int, 8)
+	for i := 0; i < n; i++ {
+		counts[z.Sample()]++
+	}
+	probs := z.Probabilities()
+	for k := range probs {
+		got := float64(counts[k]) / n
+		if math.Abs(got-probs[k]) > 0.01 {
+			t.Errorf("value %d frequency %v, want %v", k, got, probs[k])
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	if _, err := NewZipf(NewRNG(1), 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(NewRNG(1), 3, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 2.0)
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	if !(w[0] > w[1] && w[1] > w[2] && w[2] > w[3]) {
+		t.Errorf("weights not decreasing: %v", w)
+	}
+	// s=2: w[0]/w[1] = 4.
+	if math.Abs(w[0]/w[1]-4) > 1e-9 {
+		t.Errorf("w0/w1 = %v, want 4", w[0]/w[1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v, want sqrt(2.5)", s.StdDev)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.StdDev != 0 {
+		t.Errorf("Summarize(single) = %+v", one)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	tests := []struct {
+		got, want, out float64
+	}{
+		{110, 100, 0.1}, {90, 100, 0.1}, {0, 0, 0}, {-5, -10, 0.5},
+	}
+	for _, tc := range tests {
+		if got := RelErr(tc.got, tc.want); math.Abs(got-tc.out) > 1e-12 {
+			t.Errorf("RelErr(%v, %v) = %v, want %v", tc.got, tc.want, got, tc.out)
+		}
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1, 0) should be +Inf")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if math.Abs(s.P50-5) > 1e-12 {
+		t.Errorf("P50 = %v, want 5", s.P50)
+	}
+	if math.Abs(s.P90-9) > 1e-12 {
+		t.Errorf("P90 = %v, want 9", s.P90)
+	}
+}
+
+// Property: summary invariants hold for arbitrary samples.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Keep magnitudes bounded so sums cannot overflow and float
+			// rounding cannot break the ordering invariants.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package window implements count-based sliding windows, the buffering
+// discipline behind the paper's stateful operators (aggregations, spatial
+// queries and band-joins are all evaluated "over the last w items, every s
+// new items").
+package window
+
+import "fmt"
+
+// Count is a count-based sliding window of float64 payloads with length w
+// and slide s: once w items have been buffered, the window fires on every
+// s-th arrival, exposing the most recent w items.
+//
+// The zero value is not usable; construct with NewCount. Count is not safe
+// for concurrent use: each operator replica owns its windows.
+type Count[T any] struct {
+	buf        []T
+	head       int // index of the oldest element
+	size       int
+	length     int
+	slide      int
+	sinceFire  int
+	totalAdded uint64
+}
+
+// NewCount returns a window with the given length and slide. Length and
+// slide must be positive; slide may exceed length (sampling windows).
+func NewCount[T any](length, slide int) (*Count[T], error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("window: length %d, must be > 0", length)
+	}
+	if slide <= 0 {
+		return nil, fmt.Errorf("window: slide %d, must be > 0", slide)
+	}
+	return &Count[T]{
+		buf:    make([]T, length),
+		length: length,
+		slide:  slide,
+	}, nil
+}
+
+// MustCount is NewCount that panics on error; for statically-known sizes.
+func MustCount[T any](length, slide int) *Count[T] {
+	w, err := NewCount[T](length, slide)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Add buffers one item and reports whether the window fires: the first time
+// the window is full, and every slide-th arrival after that.
+func (w *Count[T]) Add(item T) bool {
+	if w.size < w.length {
+		w.buf[(w.head+w.size)%w.length] = item
+		w.size++
+	} else {
+		w.buf[w.head] = item
+		w.head = (w.head + 1) % w.length
+	}
+	w.totalAdded++
+	if w.size < w.length {
+		return false
+	}
+	if w.totalAdded == uint64(w.length) {
+		w.sinceFire = 0
+		return true
+	}
+	w.sinceFire++
+	if w.sinceFire >= w.slide {
+		w.sinceFire = 0
+		return true
+	}
+	return false
+}
+
+// Snapshot appends the window content, oldest first, to dst and returns the
+// extended slice. It allocates only when dst lacks capacity.
+func (w *Count[T]) Snapshot(dst []T) []T {
+	for i := 0; i < w.size; i++ {
+		dst = append(dst, w.buf[(w.head+i)%w.length])
+	}
+	return dst
+}
+
+// Len returns the number of buffered items (at most the window length).
+func (w *Count[T]) Len() int { return w.size }
+
+// Length returns the configured window length.
+func (w *Count[T]) Length() int { return w.length }
+
+// Slide returns the configured slide.
+func (w *Count[T]) Slide() int { return w.slide }
+
+// Full reports whether the window holds length items.
+func (w *Count[T]) Full() bool { return w.size == w.length }
+
+// Reset empties the window.
+func (w *Count[T]) Reset() {
+	w.head, w.size, w.sinceFire, w.totalAdded = 0, 0, 0, 0
+}
+
+// InputSelectivity returns the steady-state number of items consumed per
+// emitted result: the slide. This is the value the cost model uses for
+// windowed operators (Section 3.4).
+func (w *Count[T]) InputSelectivity() float64 { return float64(w.slide) }

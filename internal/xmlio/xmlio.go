@@ -1,0 +1,315 @@
+// Package xmlio reads and writes the XML topology formalism SpinStreams
+// accepts as input (Section 4.1): operators with their name, type, profiled
+// service time (with time unit), implementation reference, selectivity
+// parameters and — for partitioned-stateful operators — the key frequency
+// distribution (inline or in a side file); plus the output edges with their
+// routing probabilities.
+package xmlio
+
+import (
+	"bufio"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spinstreams/internal/core"
+)
+
+// Document is the XML representation of a topology.
+type Document struct {
+	XMLName   xml.Name      `xml:"topology"`
+	Name      string        `xml:"name,attr"`
+	Operators []OperatorDoc `xml:"operator"`
+}
+
+// OperatorDoc is one operator element.
+type OperatorDoc struct {
+	Name string `xml:"name,attr"`
+	// Type is one of source, stateless, partitioned-stateful, stateful,
+	// sink.
+	Type string `xml:"type,attr"`
+	// ServiceTime accepts Go duration syntax ("1.2ms", "300us") or a
+	// plain float in seconds ("0.0012").
+	ServiceTime string `xml:"serviceTime,attr"`
+	// Impl references the implementation (the paper's .class pathname);
+	// see operators.Catalog for the built-in names.
+	Impl              string      `xml:"impl,attr,omitempty"`
+	InputSelectivity  float64     `xml:"inputSelectivity,attr,omitempty"`
+	OutputSelectivity float64     `xml:"outputSelectivity,attr,omitempty"`
+	KeysFile          string      `xml:"keysFile,attr,omitempty"`
+	Keys              []KeyDoc    `xml:"key,omitempty"`
+	Outputs           []OutputDoc `xml:"output,omitempty"`
+}
+
+// KeyDoc is one inline key-frequency entry.
+type KeyDoc struct {
+	Frequency float64 `xml:"frequency,attr"`
+}
+
+// OutputDoc is one output edge.
+type OutputDoc struct {
+	To          string  `xml:"to,attr"`
+	Probability float64 `xml:"probability,attr"`
+}
+
+// KeyLoader resolves a keysFile reference to its frequency vector.
+type KeyLoader func(path string) ([]float64, error)
+
+// Option customizes Read.
+type Option func(*options)
+
+type options struct {
+	keyLoader KeyLoader
+}
+
+// WithKeyLoader supplies the resolver for keysFile attributes; without it,
+// topologies referencing key files are rejected.
+func WithKeyLoader(l KeyLoader) Option {
+	return func(o *options) { o.keyLoader = l }
+}
+
+// Read parses a topology document from r and builds the validated graph.
+func Read(r io.Reader, opts ...Option) (*core.Topology, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var doc Document
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlio: parse: %w", err)
+	}
+	return FromDocument(&doc, o.keyLoader)
+}
+
+// ReadFile parses path; keysFile references resolve relative to its
+// directory unless an explicit loader is given.
+func ReadFile(path string, opts ...Option) (*core.Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmlio: %w", err)
+	}
+	defer f.Close()
+	all := append([]Option{WithKeyLoader(func(ref string) ([]float64, error) {
+		return LoadKeyFile(filepath.Join(filepath.Dir(path), ref))
+	})}, opts...)
+	return Read(f, all...)
+}
+
+// FromDocument builds and validates the topology described by doc.
+func FromDocument(doc *Document, loader KeyLoader) (*core.Topology, error) {
+	if len(doc.Operators) == 0 {
+		return nil, errors.New("xmlio: document has no operators")
+	}
+	t := core.NewTopology()
+	for _, od := range doc.Operators {
+		kind, err := parseKind(od.Type)
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+		}
+		st, err := ParseServiceTime(od.ServiceTime)
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+		}
+		op := core.Operator{
+			Name:              od.Name,
+			Kind:              kind,
+			ServiceTime:       st,
+			InputSelectivity:  od.InputSelectivity,
+			OutputSelectivity: od.OutputSelectivity,
+			Impl:              od.Impl,
+		}
+		if kind == core.KindPartitionedStateful {
+			freq, err := keysOf(od, loader)
+			if err != nil {
+				return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+			}
+			op.Keys = &core.KeyDistribution{Freq: freq}
+		}
+		if _, err := t.AddOperator(op); err != nil {
+			return nil, fmt.Errorf("xmlio: %w", err)
+		}
+	}
+	for _, od := range doc.Operators {
+		from, _ := t.Lookup(od.Name)
+		for _, out := range od.Outputs {
+			to, ok := t.Lookup(out.To)
+			if !ok {
+				return nil, fmt.Errorf("xmlio: operator %q outputs to unknown %q", od.Name, out.To)
+			}
+			if err := t.Connect(from, to, out.Probability); err != nil {
+				return nil, fmt.Errorf("xmlio: %w", err)
+			}
+		}
+	}
+	// Format-level validation accepts feedback edges (the cyclic analysis
+	// handles them); the acyclic algorithms re-validate on entry.
+	if err := t.ValidateCyclic(); err != nil {
+		return nil, fmt.Errorf("xmlio: invalid topology: %w", err)
+	}
+	return t, nil
+}
+
+func keysOf(od OperatorDoc, loader KeyLoader) ([]float64, error) {
+	switch {
+	case len(od.Keys) > 0 && od.KeysFile != "":
+		return nil, errors.New("both inline keys and keysFile given")
+	case len(od.Keys) > 0:
+		freq := make([]float64, len(od.Keys))
+		for i, k := range od.Keys {
+			freq[i] = k.Frequency
+		}
+		return freq, nil
+	case od.KeysFile != "":
+		if loader == nil {
+			return nil, fmt.Errorf("keysFile %q given but no key loader configured", od.KeysFile)
+		}
+		return loader(od.KeysFile)
+	default:
+		return nil, errors.New("partitioned-stateful operator without key distribution")
+	}
+}
+
+// LoadKeyFile reads a key-frequency file: one positive frequency per line,
+// blank lines and #-comments ignored.
+func LoadKeyFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var freq []float64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		freq = append(freq, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return freq, nil
+}
+
+// ParseServiceTime accepts Go duration syntax or a float in seconds.
+func ParseServiceTime(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errors.New("missing serviceTime")
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d <= 0 {
+			return 0, fmt.Errorf("service time %q not positive", s)
+		}
+		return d.Seconds(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service time %q: want a duration (\"1.2ms\") or seconds (\"0.0012\")", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("service time %q not positive", s)
+	}
+	return v, nil
+}
+
+func parseKind(s string) (core.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "source":
+		return core.KindSource, nil
+	case "stateless":
+		return core.KindStateless, nil
+	case "partitioned-stateful", "partitioned":
+		return core.KindPartitionedStateful, nil
+	case "stateful":
+		return core.KindStateful, nil
+	case "sink":
+		return core.KindSink, nil
+	default:
+		return 0, fmt.Errorf("unknown operator type %q", s)
+	}
+}
+
+// ToDocument converts a topology back to its XML representation; key
+// distributions are inlined.
+func ToDocument(name string, t *core.Topology) *Document {
+	doc := &Document{Name: name}
+	for i := 0; i < t.Len(); i++ {
+		id := core.OpID(i)
+		op := t.Op(id)
+		od := OperatorDoc{
+			Name:              op.Name,
+			Type:              op.Kind.String(),
+			ServiceTime:       formatSeconds(op.ServiceTime),
+			Impl:              op.Impl,
+			InputSelectivity:  op.InputSelectivity,
+			OutputSelectivity: op.OutputSelectivity,
+		}
+		if op.Keys != nil {
+			for _, f := range op.Keys.Freq {
+				od.Keys = append(od.Keys, KeyDoc{Frequency: f})
+			}
+		}
+		for _, e := range t.Out(id) {
+			od.Outputs = append(od.Outputs, OutputDoc{
+				To:          t.Op(e.To).Name,
+				Probability: e.Prob,
+			})
+		}
+		doc.Operators = append(doc.Operators, od)
+	}
+	return doc
+}
+
+// Write serializes the topology as indented XML.
+func Write(w io.Writer, name string, t *core.Topology) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(ToDocument(name, t)); err != nil {
+		return fmt.Errorf("xmlio: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// WriteFile writes the topology to path.
+func WriteFile(path, name string, t *core.Topology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("xmlio: %w", err)
+	}
+	if err := Write(f, name, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// formatSeconds renders a service time with a readable unit when the
+// nanosecond-granular duration form is exact, and as full-precision float
+// seconds otherwise (profiled times must round-trip bit-exactly: steady-
+// state corrections multiply them into the predicted throughput).
+func formatSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	if d.Seconds() == s {
+		return d.String()
+	}
+	return strconv.FormatFloat(s, 'g', -1, 64)
+}

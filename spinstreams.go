@@ -1,0 +1,227 @@
+// Package spinstreams is a static optimization tool and execution stack
+// for data stream processing applications, reproducing "SpinStreams: a
+// Static Optimization Tool for Data Stream Processing Applications"
+// (Mencagli, Dazzi, Tonci — Middleware 2018).
+//
+// The package is a facade over the library's subsystems:
+//
+//   - topology modeling and the steady-state backpressure cost model
+//     (Algorithm 1), operator fission with optimal replication degrees
+//     (Algorithm 2), and operator fusion of single-front-end subgraphs
+//     (Algorithm 3) — internal/core;
+//   - the XML topology formalism — internal/xmlio;
+//   - the catalog of 20 real-world operators (maps, filters, windowed
+//     aggregations, spatial queries, band-joins) — internal/operators;
+//   - physical plan expansion (emitters, replicas, collectors,
+//     meta-operators) — internal/plan;
+//   - a deterministic discrete-event simulator of the topology as a
+//     queueing network with Blocking-After-Service semantics —
+//     internal/qsim;
+//   - a live goroutine runtime with bounded-channel mailboxes (the
+//     SS2Akka analog) — internal/runtime;
+//   - random testbed generation (Algorithm 5), profiling and Go code
+//     generation — internal/randtopo, internal/profiler,
+//     internal/codegen.
+//
+// Quick start:
+//
+//	t := spinstreams.NewTopology()
+//	src := t.MustAddOperator(spinstreams.Operator{Name: "src", Kind: spinstreams.KindSource, ServiceTime: 1e-3})
+//	hot := t.MustAddOperator(spinstreams.Operator{Name: "hot", Kind: spinstreams.KindStateless, ServiceTime: 4e-3})
+//	sink := t.MustAddOperator(spinstreams.Operator{Name: "sink", Kind: spinstreams.KindSink, ServiceTime: 1e-4})
+//	t.MustConnect(src, hot, 1)
+//	t.MustConnect(hot, sink, 1)
+//	a, _ := spinstreams.Analyze(t)              // predicted throughput: 250/s (hot is a bottleneck)
+//	res, _ := spinstreams.Optimize(t, spinstreams.FissionOptions{})
+//	_ = a
+//	_ = res                                     // hot gets ceil(4) = 4 replicas; throughput 1000/s
+//
+// See the runnable programs under examples/ for full scenarios.
+package spinstreams
+
+import (
+	"context"
+	"io"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/operators"
+	"spinstreams/internal/plan"
+	"spinstreams/internal/qsim"
+	"spinstreams/internal/runtime"
+	"spinstreams/internal/xmlio"
+)
+
+// Re-exported topology model types.
+type (
+	// Topology is a rooted acyclic graph of operators; see core.Topology.
+	Topology = core.Topology
+	// Operator is one vertex of a topology.
+	Operator = core.Operator
+	// OpID identifies an operator within a topology.
+	OpID = core.OpID
+	// Kind classifies an operator's state.
+	Kind = core.Kind
+	// KeyDistribution is the key-frequency profile of a
+	// partitioned-stateful operator.
+	KeyDistribution = core.KeyDistribution
+	// Analysis is the result of the steady-state cost model.
+	Analysis = core.Analysis
+	// FissionOptions tunes bottleneck elimination.
+	FissionOptions = core.FissionOptions
+	// FissionResult is the outcome of bottleneck elimination.
+	FissionResult = core.FissionResult
+	// FusionReport is the predicted outcome of an operator fusion.
+	FusionReport = core.FusionReport
+	// FusionCandidate is a ranked fusion suggestion.
+	FusionCandidate = core.FusionCandidate
+	// SimConfig tunes the discrete-event simulation.
+	SimConfig = qsim.Config
+	// SimResult is a simulation outcome.
+	SimResult = qsim.Result
+	// RunConfig tunes live execution on the goroutine runtime.
+	RunConfig = runtime.Config
+	// RunMetrics is a live execution outcome.
+	RunMetrics = runtime.Metrics
+	// Binding supplies operator implementations to the runtime.
+	Binding = runtime.Binding
+	// Tuple is the unit of data flowing through executed topologies.
+	Tuple = operators.Tuple
+	// Spec selects a catalog operator implementation.
+	Spec = operators.Spec
+	// Plan is a physical execution plan.
+	Plan = plan.Plan
+)
+
+// Operator kinds.
+const (
+	KindSource              = core.KindSource
+	KindStateless           = core.KindStateless
+	KindPartitionedStateful = core.KindPartitionedStateful
+	KindStateful            = core.KindStateful
+	KindSink                = core.KindSink
+)
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology { return core.NewTopology() }
+
+// Analyze runs the steady-state analysis (Algorithm 1): per-operator
+// departure rates and the predicted topology throughput under
+// backpressure.
+func Analyze(t *Topology) (*Analysis, error) { return core.SteadyState(t) }
+
+// Optimize eliminates bottlenecks via operator fission (Algorithm 2).
+func Optimize(t *Topology, opts FissionOptions) (*FissionResult, error) {
+	return core.EliminateBottlenecks(t, opts)
+}
+
+// Fuse replaces the subgraph with a meta-operator (Algorithm 3) and
+// predicts the outcome; the returned topology is a new graph.
+func Fuse(t *Topology, members []OpID, name string) (*Topology, *FusionReport, error) {
+	return core.Fuse(t, members, name)
+}
+
+// Candidates proposes fusion subgraphs ranked by the meta-operator's
+// predicted utilization, most underutilized first.
+func Candidates(t *Topology) ([]FusionCandidate, error) {
+	return core.FusionCandidates(t, nil)
+}
+
+// AutoFuse repeatedly applies the safest fusion candidate until none
+// qualifies, coarsening the topology without hurting predicted throughput
+// (the automation the paper lists as future work).
+func AutoFuse(t *Topology, opts core.AutoFuseOptions) (*core.AutoFuseResult, error) {
+	return core.AutoFuse(t, opts)
+}
+
+// AutoFuseOptions and AutoFuseResult configure and report AutoFuse.
+type (
+	AutoFuseOptions = core.AutoFuseOptions
+	AutoFuseResult  = core.AutoFuseResult
+)
+
+// EstimateLatency predicts per-operator queueing delays and the expected
+// end-to-end latency from a steady-state analysis (pass nil to compute
+// one); an extension of the paper's throughput-only models, validated
+// against the simulator's measured waiting times.
+func EstimateLatency(t *Topology, a *Analysis, model core.LatencyModel, bufferCapacity int) (*core.LatencyEstimate, error) {
+	return core.EstimateLatency(t, a, model, bufferCapacity)
+}
+
+// Latency model selectors and result type.
+type (
+	LatencyModel    = core.LatencyModel
+	LatencyEstimate = core.LatencyEstimate
+)
+
+// Queueing approximations for EstimateLatency.
+const (
+	MM1 = core.MM1
+	MD1 = core.MD1
+)
+
+// AnalyzeCyclic runs the steady-state analysis extended to topologies with
+// feedback edges (the cyclic generality the paper lists as future work):
+// the traffic equations are solved by fixed-point iteration and the source
+// is scaled against the binding capacity.
+func AnalyzeCyclic(t *Topology) (*Analysis, error) { return core.SteadyStateCyclic(t) }
+
+// AnalyzeShedding evaluates the topology under load-shedding semantics
+// (Section 2's alternative to backpressure): saturated operators discard
+// their excess instead of throttling upstream, and the analysis reports
+// the resulting loss.
+func AnalyzeShedding(t *Topology) (*core.SheddingAnalysis, error) {
+	return core.SteadyStateShedding(t)
+}
+
+// SheddingAnalysis is the load-shedding steady state.
+type SheddingAnalysis = core.SheddingAnalysis
+
+// Simulate measures the topology in the discrete-event simulator; replicas
+// (from Optimize) may be nil.
+func Simulate(t *Topology, replicas []int, cfg SimConfig) (*SimResult, error) {
+	return qsim.SimulateTopology(t, replicas, cfg)
+}
+
+// Execute runs the topology live on the goroutine runtime.
+func Execute(ctx context.Context, t *Topology, replicas []int, binding *Binding, cfg RunConfig) (*RunMetrics, error) {
+	return runtime.RunTopology(ctx, t, replicas, binding, cfg)
+}
+
+// DistributedConfig tunes ExecuteDistributed.
+type DistributedConfig = runtime.DistributedConfig
+
+// ExecuteDistributed partitions the topology's physical plan across nodes
+// that exchange items over TCP (the Akka-Remoting analog the paper lists
+// as future work); backpressure propagates across the network.
+func ExecuteDistributed(ctx context.Context, t *Topology, replicas []int, binding *Binding, cfg DistributedConfig) (*RunMetrics, error) {
+	p, err := plan.Build(t, plan.Options{Replicas: replicas})
+	if err != nil {
+		return nil, err
+	}
+	return runtime.RunDistributed(ctx, p, binding, cfg)
+}
+
+// BuildOperator constructs a catalog operator implementation.
+func BuildOperator(spec Spec) (operators.Operator, error) { return operators.Build(spec) }
+
+// OperatorCatalog lists the built-in operator implementations.
+func OperatorCatalog() []string { return operators.Catalog() }
+
+// ReadTopology parses the XML topology formalism.
+func ReadTopology(r io.Reader) (*Topology, error) { return xmlio.Read(r) }
+
+// ReadTopologyFile parses an XML topology file.
+func ReadTopologyFile(path string) (*Topology, error) { return xmlio.ReadFile(path) }
+
+// WriteTopology serializes a topology as XML.
+func WriteTopology(w io.Writer, name string, t *Topology) error { return xmlio.Write(w, name, t) }
+
+// PaperExample builds the six-operator fusion example of Section 5.4
+// (Figure 11 / Tables 1-2) and the subgraph the paper fuses.
+func PaperExample(table2 bool) (*Topology, []OpID) {
+	variant := core.PaperExampleTable1
+	if table2 {
+		variant = core.PaperExampleTable2
+	}
+	return core.PaperExampleTopology(variant)
+}
