@@ -10,15 +10,21 @@
 package spinstreams_test
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/experiments"
 	"spinstreams/internal/keypart"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/qsim"
 	"spinstreams/internal/randtopo"
+	"spinstreams/internal/runtime"
 	"spinstreams/internal/stats"
 	"spinstreams/internal/window"
 )
@@ -213,6 +219,88 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 			}
 			b.ReportMetric(tp, "tuples/s")
 		})
+	}
+}
+
+// BenchmarkRuntimeRawThroughput measures the dataplane itself: a linear
+// 4-operator pipeline with service padding disabled, so tuples/sec is
+// bounded by per-item synchronization overhead rather than operator
+// service time. The per-tuple and batched mailbox transports run the same
+// plan; the reported tuples/s are the source departure rate. Set
+// SS_BENCH_JSON=<path> to also record the comparison as a JSON bench
+// trajectory point (CI uploads it as BENCH_runtime.json).
+func BenchmarkRuntimeRawThroughput(b *testing.B) {
+	topo := core.NewTopology()
+	var prev core.OpID
+	for i, spec := range []struct {
+		name string
+		kind core.Kind
+	}{
+		{"src", core.KindSource},
+		{"stage1", core.KindStateless},
+		{"stage2", core.KindStateless},
+		{"sink", core.KindSink},
+	} {
+		id := topo.MustAddOperator(core.Operator{Name: spec.name, Kind: spec.kind, ServiceTime: 0.001})
+		if i > 0 {
+			topo.MustConnect(prev, id, 1)
+		}
+		prev = id
+	}
+	run := func(b *testing.B, mode mailbox.Mode) float64 {
+		var tps float64
+		for i := 0; i < b.N; i++ {
+			// A lean generator (one payload field, tiny key domain) keeps
+			// source-side tuple construction from masking the dataplane
+			// cost under measurement.
+			gen, err := operators.NewGenerator(operators.GeneratorConfig{
+				Seed: uint64(i + 1), NumKeys: 4, NumFields: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := runtime.RunTopology(context.Background(), topo, nil, nil, runtime.Config{
+				Seed:             uint64(i + 1),
+				Duration:         800 * time.Millisecond,
+				Warmup:           200 * time.Millisecond,
+				MailboxSize:      512,
+				NoServicePadding: true,
+				Mailbox:          mode,
+				Batch:            128,
+				Generator:        gen,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tps = m.Throughput
+		}
+		b.ReportMetric(tps, "tuples/s")
+		return tps
+	}
+	results := map[string]float64{}
+	b.Run("per-tuple", func(b *testing.B) { results["per-tuple"] = run(b, mailbox.PerTuple) })
+	b.Run("batched", func(b *testing.B) { results["batched"] = run(b, mailbox.Batched) })
+	if path := os.Getenv("SS_BENCH_JSON"); path != "" && results["per-tuple"] > 0 {
+		point := struct {
+			Benchmark string             `json:"benchmark"`
+			Pipeline  int                `json:"pipeline_operators"`
+			Padding   bool               `json:"service_padding"`
+			TuplesPer map[string]float64 `json:"tuples_per_sec"`
+			Speedup   float64            `json:"batched_speedup"`
+		}{
+			Benchmark: "BenchmarkRuntimeRawThroughput",
+			Pipeline:  topo.Len(),
+			Padding:   false,
+			TuplesPer: results,
+			Speedup:   results["batched"] / results["per-tuple"],
+		}
+		data, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

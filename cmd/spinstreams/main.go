@@ -26,6 +26,7 @@ import (
 	"spinstreams/internal/codegen"
 	"spinstreams/internal/core"
 	"spinstreams/internal/dot"
+	mbox "spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/profiler"
@@ -444,11 +445,18 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	in := fs.String("in", "", "input topology XML")
 	duration := fs.Duration("duration", 5*time.Second, "run length")
-	mailbox := fs.Int("mailbox", 64, "mailbox capacity")
+	mailbox := fs.Int("mailbox", 64, "mailbox capacity (tuples)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	optimize := fs.Bool("optimize", false, "apply bottleneck elimination before running")
 	nodes := fs.Int("nodes", 1, "partition the plan across N TCP-connected nodes")
+	mode := fs.String("mailbox-mode", "tuple", "dataplane transport: tuple (one channel send per item) or batch (pooled micro-batches)")
+	batch := fs.Int("batch", 0, "micro-batch size in batch mode (0 = runtime default)")
+	linger := fs.Duration("linger", 0, "max wait before a partial batch is flushed (0 = runtime default)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	transport, err := mbox.ParseMode(*mode)
+	if err != nil {
 		return err
 	}
 	t, err := loadTopology(*in)
@@ -486,6 +494,9 @@ func cmdRun(args []string) error {
 		Duration:    *duration,
 		MailboxSize: *mailbox,
 		Seed:        *seed,
+		Mailbox:     transport,
+		Batch:       *batch,
+		Linger:      *linger,
 	}
 	var m *runtime.Metrics
 	if *nodes > 1 {

@@ -23,6 +23,7 @@ import (
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/experiments"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/qsim"
 )
 
@@ -42,7 +43,14 @@ func run() error {
 	csvDir := flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
 	liveTopologies := flag.Int("live-topologies", 8, "testbed entries for fig7live")
 	liveDuration := flag.Duration("live-duration", 3*time.Second, "wall-clock run per topology for fig7live")
+	liveMailbox := flag.String("mailbox", "tuple", "fig7live dataplane transport: tuple or batch")
+	liveBatch := flag.Int("batch", 0, "fig7live micro-batch size in batch mode (0 = runtime default)")
+	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
 	flag.Parse()
+	liveTransport, err := mailbox.ParseMode(*liveMailbox)
+	if err != nil {
+		return err
+	}
 
 	setup := experiments.Setup{
 		Seed:       *seed,
@@ -149,6 +157,9 @@ func run() error {
 			res, err := experiments.Fig7Live(context.Background(), setup, experiments.LiveOptions{
 				Topologies: *liveTopologies,
 				Duration:   *liveDuration,
+				Transport:  liveTransport,
+				Batch:      *liveBatch,
+				Linger:     *liveLinger,
 			})
 			if err != nil {
 				return err

@@ -49,6 +49,10 @@ func TestGeneratePlain(t *testing.T) {
 	for _, want := range []string{
 		"package main", "core.NewTopology()", "MustConnect", "runtime.RunTopology",
 		"core.SteadyState(t)",
+		// The generated program exposes the dataplane knobs and routes
+		// them into the runtime config.
+		`flag.String("mailbox-mode"`, `flag.Int("batch"`, `flag.Duration("linger"`,
+		"mbox.ParseMode", "Mailbox:     transport",
 	} {
 		if !strings.Contains(src, want) {
 			t.Errorf("generated code missing %q", want)
@@ -162,14 +166,20 @@ func TestGeneratedProgramBuildsAndRuns(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build failed: %v\n%s\n--- generated source ---\n%s", err, out, src)
 	}
-	run := exec.Command(bin, "-duration", "400ms")
-	out, err := run.CombinedOutput()
-	if err != nil {
-		t.Fatalf("generated binary failed: %v\n%s", err, out)
-	}
-	for _, want := range []string{"predicted throughput", "measured  throughput"} {
-		if !strings.Contains(string(out), want) {
-			t.Errorf("output missing %q:\n%s", want, out)
+	// Both dataplane transports must work in generated programs.
+	for _, args := range [][]string{
+		{"-duration", "400ms"},
+		{"-duration", "400ms", "-mailbox-mode", "batch", "-batch", "16", "-linger", "500us"},
+	} {
+		run := exec.Command(bin, args...)
+		out, err := run.CombinedOutput()
+		if err != nil {
+			t.Fatalf("generated binary %v failed: %v\n%s", args, err, out)
+		}
+		for _, want := range []string{"predicted throughput", "measured  throughput"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("%v output missing %q:\n%s", args, want, out)
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/qsim"
 )
 
@@ -272,6 +273,40 @@ func TestFig7Live(t *testing.T) {
 	if !strings.Contains(res.String(), "live runtime") {
 		t.Error("String() missing header")
 	}
+}
+
+func TestFig7LiveBatchedAccuracy(t *testing.T) {
+	// The batched dataplane must not change what the cost model predicts:
+	// on 5 random testbed topologies the batched runtime has to agree
+	// with core.SteadyState within the same error bound the per-tuple
+	// transport is held to (capacity stays tuple-accounted, so BAS — and
+	// with it the steady state — is transport-independent).
+	if testing.Short() {
+		t.Skip("live run takes wall-clock time")
+	}
+	const tolerance = 0.30 // same bound as TestFig7Live's per-tuple run
+	opts := LiveOptions{
+		Topologies: 5,
+		Duration:   1200 * time.Millisecond,
+	}
+	perTuple, err := Fig7Live(context.Background(), quickSetup(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Transport = mailbox.Batched
+	batched, err := Fig7Live(context.Background(), quickSetup(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(batched.Rows))
+	}
+	if batched.ErrStat.Mean > tolerance {
+		t.Errorf("batched live mean error %.3f exceeds the per-tuple bound %.2f",
+			batched.ErrStat.Mean, tolerance)
+	}
+	t.Logf("mean rel.err: per-tuple %.3f, batched %.3f",
+		perTuple.ErrStat.Mean, batched.ErrStat.Mean)
 }
 
 func TestCSVExport(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/runtime"
 	"spinstreams/internal/stats"
 )
@@ -41,6 +42,13 @@ type LiveOptions struct {
 	// steady-state model is capacity-independent; see the buffer
 	// ablation).
 	MailboxSize int
+	// Transport selects the dataplane (per-tuple or batched); capacity
+	// stays tuple-accounted either way, so predictions must hold under
+	// both.
+	Transport mailbox.Mode
+	// Batch and Linger tune the batched transport (0 = runtime default).
+	Batch  int
+	Linger time.Duration
 }
 
 // Fig7Live measures prediction accuracy against live execution.
@@ -82,6 +90,9 @@ func Fig7Live(ctx context.Context, s Setup, opts LiveOptions) (*LiveResult, erro
 			Duration:    opts.Duration,
 			Warmup:      opts.Duration / 3,
 			MailboxSize: opts.MailboxSize,
+			Mailbox:     opts.Transport,
+			Batch:       opts.Batch,
+			Linger:      opts.Linger,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig7live topology %d: %w", i+1, err)

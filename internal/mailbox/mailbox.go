@@ -1,0 +1,503 @@
+// Package mailbox is the runtime's dataplane: a bounded, tuple-capacity-
+// accounted queue connecting one producer set to a single consumer actor.
+// It offers two interchangeable transports behind one API:
+//
+//   - PerTuple: each item is one bounded-channel operation — the classic
+//     Akka BoundedMailbox analog the cost models were validated against.
+//   - Batched: senders accumulate items into pooled micro-batches (flushed
+//     on batch-full or after a linger timeout so low-rate edges don't
+//     stall) and the consumer drains whole batches, amortizing the
+//     synchronization cost of a queue operation over many tuples.
+//
+// Both transports preserve Blocking-After-Service semantics exactly: a
+// mailbox of capacity C admits at most C tuples before senders block
+// (or, with a send timeout, shed), regardless of batch size. Capacity is
+// accounted in tuples via a credit token per admitted item, never in
+// batches, so the steady-state model's predictions remain valid under
+// either transport. Items already admitted (holding a credit) are never
+// dropped — a send timeout can only reject the item being admitted.
+package mailbox
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the transport of a mailbox.
+type Mode int
+
+const (
+	// PerTuple delivers each item as an individual channel send.
+	PerTuple Mode = iota
+	// Batched delivers items in pooled micro-batches.
+	Batched
+)
+
+// String returns the canonical flag spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case PerTuple:
+		return "tuple"
+	case Batched:
+		return "batch"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -mailbox flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "tuple", "per-tuple", "pertuple":
+		return PerTuple, nil
+	case "batch", "batched":
+		return Batched, nil
+	default:
+		return 0, fmt.Errorf("mailbox: unknown mode %q (want tuple or batch)", s)
+	}
+}
+
+// Transport defaults; a zero Config field selects these.
+const (
+	// DefaultBatch is the micro-batch size of the batched transport.
+	DefaultBatch = 32
+	// DefaultLinger bounds how long a partial batch may wait before it is
+	// flushed to the consumer.
+	DefaultLinger = time.Millisecond
+)
+
+// Config sizes a mailbox.
+type Config struct {
+	// Capacity is the BAS bound: the maximum number of admitted tuples.
+	Capacity int
+	// Mode selects the transport.
+	Mode Mode
+	// Batch is the micro-batch size in Batched mode (default DefaultBatch).
+	Batch int
+	// Linger bounds the wait of a partial batch in Batched mode (default
+	// DefaultLinger). It must be positive: partial batches hold capacity
+	// credits, so an unbounded linger could stall the consumer forever.
+	Linger time.Duration
+}
+
+// SendResult reports the outcome of one send.
+type SendResult int
+
+const (
+	// Sent means the item was admitted into the mailbox.
+	Sent SendResult = iota
+	// Dropped means the send timeout expired before a capacity credit
+	// became available; the item was never admitted.
+	Dropped
+	// Closed means the done channel fired while the send was blocked.
+	Closed
+)
+
+// Mailbox is a bounded single-consumer queue. Producers send through
+// Sender values (one per producer, from NewSender); the consumer calls
+// Recv. The zero value is not usable; construct with New.
+type Mailbox[T any] struct {
+	mode     Mode
+	capacity int
+	batch    int
+	linger   time.Duration
+
+	// ch is the PerTuple transport.
+	ch chan T
+
+	// avail counts free capacity credits; one credit is taken per
+	// admitted tuple, so avail == 0 is exactly "C tuples queued" and
+	// blocks admission (BAS). An atomic counter (with wake for blocked
+	// senders) instead of a token channel keeps the per-tuple admission
+	// cost to one CAS and lets the consumer release a whole batch's
+	// credits in a single add.
+	avail atomic.Int64
+	// wake carries at most one pending wakeup for senders blocked on
+	// exhausted credits; a woken sender re-signals while credits remain,
+	// so one release fans out to every waiter that can proceed.
+	wake chan struct{}
+	// batches carries flushed micro-batches. Its capacity equals the
+	// tuple capacity: every queued batch holds at least one credited
+	// tuple, so at most Capacity batches can be outstanding and a flush
+	// by a credit-holding sender never blocks.
+	batches chan []T
+	// pool recycles batch buffers between senders and the consumer.
+	pool sync.Pool
+
+	// cur/idx is the consumer-side cursor over the batch in hand; only
+	// the single consumer touches them.
+	cur []T
+	idx int
+}
+
+// New builds a mailbox with capacity cfg.Capacity tuples.
+func New[T any](cfg Config) (*Mailbox[T], error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("mailbox: capacity %d, want > 0", cfg.Capacity)
+	}
+	m := &Mailbox[T]{mode: cfg.Mode, capacity: cfg.Capacity}
+	switch cfg.Mode {
+	case PerTuple:
+		m.ch = make(chan T, cfg.Capacity)
+	case Batched:
+		m.batch = cfg.Batch
+		if m.batch <= 0 {
+			m.batch = DefaultBatch
+		}
+		m.linger = cfg.Linger
+		if m.linger <= 0 {
+			m.linger = DefaultLinger
+		}
+		m.avail.Store(int64(cfg.Capacity))
+		m.wake = make(chan struct{}, 1)
+		m.batches = make(chan []T, cfg.Capacity)
+		batch := m.batch
+		m.pool.New = func() any { return make([]T, 0, batch) }
+	default:
+		return nil, fmt.Errorf("mailbox: unknown mode %v", cfg.Mode)
+	}
+	return m, nil
+}
+
+// Queued reports the number of admitted tuples not yet taken by the
+// consumer (approximate under concurrency; exact when quiescent).
+func (m *Mailbox[T]) Queued() int {
+	if m.mode == PerTuple {
+		return len(m.ch)
+	}
+	return m.capacity - int(m.avail.Load())
+}
+
+// tryAcquire takes one capacity credit if any remain.
+func (m *Mailbox[T]) tryAcquire() bool {
+	for {
+		v := m.avail.Load()
+		if v <= 0 {
+			return false
+		}
+		if m.avail.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// tryAcquireN takes up to want credits in one CAS and reports how many it
+// got. Capacity stays tuple-accounted: a bulk admission takes exactly what
+// is free and the caller blocks for the rest, so BAS blocking occurs at
+// the same queue depth as single-credit admission.
+func (m *Mailbox[T]) tryAcquireN(want int) int {
+	for {
+		v := m.avail.Load()
+		if v <= 0 {
+			return 0
+		}
+		n := int64(want)
+		if n > v {
+			n = v
+		}
+		if m.avail.CompareAndSwap(v, v-n) {
+			return int(n)
+		}
+	}
+}
+
+// release returns n credits and wakes one blocked sender; the woken
+// sender cascades the wakeup while credits remain.
+func (m *Mailbox[T]) release(n int) {
+	m.avail.Add(int64(n))
+	m.signalWake()
+}
+
+func (m *Mailbox[T]) signalWake() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Recv returns the next tuple, blocking until one is available or done is
+// closed (ok == false). Only one goroutine may call Recv.
+func (m *Mailbox[T]) Recv(done <-chan struct{}) (t T, ok bool) {
+	if m.mode == PerTuple {
+		select {
+		case t = <-m.ch:
+			return t, true
+		case <-done:
+			return t, false
+		}
+	}
+	for m.idx >= len(m.cur) {
+		if m.cur != nil {
+			m.pool.Put(m.cur[:0])
+			m.cur = nil
+		}
+		select {
+		case b := <-m.batches:
+			// The whole batch leaves the queue in one operation; its
+			// capacity credits are released together, which is what
+			// amortizes the queue synchronization over the batch.
+			m.release(len(b))
+			m.cur, m.idx = b, 0
+		case <-done:
+			return t, false
+		}
+	}
+	t = m.cur[m.idx]
+	m.idx++
+	return t, true
+}
+
+// RecvBatch returns the next whole micro-batch, blocking like Recv. The
+// caller owns the returned slice until it hands it back with Recycle. In
+// PerTuple mode it degrades to a single-item batch. Only the consumer
+// goroutine may call it; it may be mixed with Recv (a partially consumed
+// Recv batch is returned first).
+func (m *Mailbox[T]) RecvBatch(done <-chan struct{}) ([]T, bool) {
+	if m.mode == PerTuple {
+		t, ok := m.Recv(done)
+		if !ok {
+			return nil, false
+		}
+		return []T{t}, true
+	}
+	if m.idx < len(m.cur) {
+		b := m.cur[m.idx:]
+		m.cur, m.idx = nil, 0
+		return b, true
+	}
+	if m.cur != nil {
+		m.pool.Put(m.cur[:0])
+		m.cur = nil
+	}
+	select {
+	case b := <-m.batches:
+		// The whole batch leaves the queue in one operation and its
+		// capacity credits are released in one add.
+		m.release(len(b))
+		return b, true
+	case <-done:
+		return nil, false
+	}
+}
+
+// Recycle returns a batch obtained from RecvBatch to the buffer pool.
+func (m *Mailbox[T]) Recycle(b []T) {
+	if m.mode == Batched && b != nil {
+		m.pool.Put(b[:0])
+	}
+}
+
+// Sender is one producer's handle on a mailbox. In Batched mode it owns
+// the producer's partial batch, so each producing goroutine needs its own
+// Sender; a Sender itself is safe against its own linger timer only.
+type Sender[T any] struct {
+	m *Mailbox[T]
+	// timeout bounds how long Send may block on a full mailbox before
+	// dropping the item; zero blocks forever (pure backpressure).
+	timeout time.Duration
+
+	mu    sync.Mutex
+	buf   []T
+	timer *time.Timer
+}
+
+// NewSender returns a producer handle. A non-zero timeout gives Akka
+// BoundedMailbox shedding semantics: Send drops the item (Dropped) when no
+// capacity credit frees up within the timeout.
+func (m *Mailbox[T]) NewSender(timeout time.Duration) *Sender[T] {
+	return &Sender[T]{m: m, timeout: timeout}
+}
+
+// Send admits one item, blocking while the mailbox holds its full
+// capacity in tuples. done aborts a blocked send (Closed).
+func (s *Sender[T]) Send(t T, done <-chan struct{}) SendResult {
+	if s.m.mode == PerTuple {
+		return s.sendTuple(t, done)
+	}
+	// Admission: one credit per tuple, acquired before the item enters
+	// the partial batch. Fast path first: an immediate credit avoids the
+	// flush and the timer.
+	if !s.m.tryAcquire() {
+		if r := s.acquireSlow(done); r != Sent {
+			return r
+		}
+	}
+	s.mu.Lock()
+	if s.buf == nil {
+		s.buf = s.m.pool.Get().([]T)
+	}
+	s.buf = append(s.buf, t)
+	switch {
+	case len(s.buf) >= s.m.batch:
+		s.flushLocked()
+	case len(s.buf) == 1:
+		s.armTimerLocked()
+	}
+	s.mu.Unlock()
+	return Sent
+}
+
+// acquireSlow blocks for a capacity credit after the fast path failed.
+func (s *Sender[T]) acquireSlow(done <-chan struct{}) SendResult {
+	// About to block: hand the partial batch to the consumer first, both
+	// so it can make progress draining the queue and so the items we
+	// already admitted aren't held back by our stall.
+	s.Flush()
+	return s.m.waitCredit(s.timeout, done)
+}
+
+// waitCredit blocks until one capacity credit is acquired (Sent), the
+// timeout expires (Dropped; zero timeout blocks forever), or done closes
+// (Closed).
+func (m *Mailbox[T]) waitCredit(timeout time.Duration, done <-chan struct{}) SendResult {
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	for {
+		select {
+		case <-m.wake:
+			got := m.tryAcquire()
+			// Pass the wakeup on while credits remain: one bulk release
+			// must reach every waiter it can satisfy, and a waiter that
+			// lost the race must not strand the token it consumed.
+			if m.avail.Load() > 0 {
+				m.signalWake()
+			}
+			if got {
+				return Sent
+			}
+		case <-timeoutC:
+			return Dropped
+		case <-done:
+			return Closed
+		}
+	}
+}
+
+// SendMany admits a slice of items with the exact per-tuple semantics of
+// repeated Send calls — capacity is still accounted per tuple, a full
+// mailbox blocks at the same queue depth, and with a timeout each blocked
+// tuple gets its own timeout window and is shed individually (items
+// already admitted are never dropped). What the bulk path buys is
+// amortization: free credits are taken in one CAS for a whole run of
+// items and the sender's batch lock is taken once per run instead of once
+// per tuple.
+func (s *Sender[T]) SendMany(ts []T, done <-chan struct{}) (sent, dropped int, ok bool) {
+	if s.m.mode == PerTuple {
+		for _, t := range ts {
+			switch s.sendTuple(t, done) {
+			case Sent:
+				sent++
+			case Dropped:
+				dropped++
+			default:
+				return sent, dropped, false
+			}
+		}
+		return sent, dropped, true
+	}
+	i := 0
+	for i < len(ts) {
+		n := s.m.tryAcquireN(len(ts) - i)
+		if n == 0 {
+			// Blocked: hand the partial batch over first, then wait for
+			// one credit at a time so shedding stays per-tuple.
+			s.Flush()
+			switch s.m.waitCredit(s.timeout, done) {
+			case Sent:
+				n = 1
+			case Dropped:
+				dropped++
+				i++
+				continue
+			default:
+				return sent, dropped, false
+			}
+		}
+		s.mu.Lock()
+		for k := 0; k < n; k++ {
+			if s.buf == nil {
+				s.buf = s.m.pool.Get().([]T)
+			}
+			s.buf = append(s.buf, ts[i+k])
+			if len(s.buf) >= s.m.batch {
+				s.flushLocked()
+			}
+		}
+		s.mu.Unlock()
+		sent += n
+		i += n
+	}
+	// The caller hands over complete output batches, so anything left in
+	// the buffer is the tail of this delivery: push it now rather than
+	// waiting for a linger.
+	s.Flush()
+	return sent, dropped, true
+}
+
+// sendTuple is the PerTuple transport: the existing bounded-channel dance.
+func (s *Sender[T]) sendTuple(t T, done <-chan struct{}) SendResult {
+	if s.timeout > 0 {
+		select {
+		case s.m.ch <- t:
+			return Sent
+		default:
+		}
+		timer := time.NewTimer(s.timeout)
+		defer timer.Stop()
+		select {
+		case s.m.ch <- t:
+			return Sent
+		case <-timer.C:
+			return Dropped
+		case <-done:
+			return Closed
+		}
+	}
+	select {
+	case s.m.ch <- t:
+		return Sent
+	case <-done:
+		return Closed
+	}
+}
+
+// Flush hands the partial batch to the consumer immediately. A no-op in
+// PerTuple mode and on an empty batch.
+func (s *Sender[T]) Flush() {
+	if s.m.mode == PerTuple {
+		return
+	}
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// flushLocked pushes the batch into the mailbox. Every buffered item
+// holds a credit, so at most Capacity batches exist and the channel send
+// cannot block (see the batches field).
+func (s *Sender[T]) flushLocked() {
+	if len(s.buf) > 0 {
+		s.m.batches <- s.buf
+		s.buf = nil
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+}
+
+// armTimerLocked schedules the linger flush for a freshly started batch.
+// A stale fire after a batch-full flush only flushes whatever partial
+// batch exists then — harmless, just a smaller batch.
+func (s *Sender[T]) armTimerLocked() {
+	if s.timer == nil {
+		s.timer = time.AfterFunc(s.m.linger, s.Flush)
+		return
+	}
+	s.timer.Reset(s.m.linger)
+}

@@ -1,0 +1,255 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func modes() []Mode { return []Mode{PerTuple, Batched} }
+
+// TestBASCapacityExact pins the core BAS invariant for both transports: a
+// mailbox of capacity C admits exactly C tuples with no consumer running,
+// regardless of batch size, and the C+1-th send blocks.
+func TestBASCapacityExact(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			const capacity = 5
+			// Batch larger than the capacity: credits, not batch-full
+			// flushes, must provide the bound.
+			m, err := New[int](Config{Capacity: capacity, Mode: mode, Batch: 64, Linger: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			s := m.NewSender(0)
+			for i := 0; i < capacity; i++ {
+				if got := s.Send(i, done); got != Sent {
+					t.Fatalf("send %d = %v, want Sent", i, got)
+				}
+			}
+			if q := m.Queued(); q != capacity {
+				t.Fatalf("Queued = %d, want %d", q, capacity)
+			}
+			blocked := make(chan SendResult, 1)
+			go func() { blocked <- s.Send(capacity, done) }()
+			select {
+			case r := <-blocked:
+				t.Fatalf("send %d returned %v, want block at exactly C queued tuples", capacity, r)
+			case <-time.After(50 * time.Millisecond):
+			}
+			// One Recv frees capacity (per-tuple: one slot; batched: the
+			// dequeued batch's credits) and unblocks the sender.
+			if _, ok := m.Recv(done); !ok {
+				t.Fatal("Recv failed")
+			}
+			select {
+			case r := <-blocked:
+				if r != Sent {
+					t.Fatalf("unblocked send = %v, want Sent", r)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("sender still blocked after capacity freed")
+			}
+		})
+	}
+}
+
+// TestTimeoutDropsOnlyUnadmitted pins the shedding contract: a send
+// timeout rejects only the item being admitted — items that already
+// entered the mailbox (including a partially filled batch) are never
+// dropped and arrive in order.
+func TestTimeoutDropsOnlyUnadmitted(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			const capacity = 4
+			m, err := New[int](Config{Capacity: capacity, Mode: mode, Batch: 3, Linger: time.Hour})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			s := m.NewSender(5 * time.Millisecond)
+			for i := 0; i < capacity; i++ {
+				if got := s.Send(i, done); got != Sent {
+					t.Fatalf("send %d = %v, want Sent", i, got)
+				}
+			}
+			for i := capacity; i < capacity+3; i++ {
+				if got := s.Send(i, done); got != Dropped {
+					t.Fatalf("send %d = %v, want Dropped", i, got)
+				}
+			}
+			// Every admitted tuple is delivered exactly once, in order,
+			// despite the drops that followed.
+			for i := 0; i < capacity; i++ {
+				v, ok := m.Recv(done)
+				if !ok || v != i {
+					t.Fatalf("Recv = %d,%v, want %d,true", v, ok, i)
+				}
+			}
+			if q := m.Queued(); q != 0 {
+				t.Fatalf("Queued = %d after drain, want 0", q)
+			}
+		})
+	}
+}
+
+// TestBatchFullFlush verifies a full batch reaches the consumer without
+// waiting for the linger.
+func TestBatchFullFlush(t *testing.T) {
+	m, err := New[int](Config{Capacity: 64, Mode: Batched, Batch: 4, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	s := m.NewSender(0)
+	for i := 0; i < 4; i++ {
+		s.Send(i, done)
+	}
+	deadline := time.After(2 * time.Second)
+	got := make(chan int, 4)
+	go func() {
+		for i := 0; i < 4; i++ {
+			v, ok := m.Recv(done)
+			if !ok {
+				return
+			}
+			got <- v
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("tuple %d = %d, want in-order delivery", i, v)
+			}
+		case <-deadline:
+			t.Fatal("full batch did not flush")
+		}
+	}
+}
+
+// TestLingerFlushesPartialBatch verifies low-rate edges don't stall: a
+// partial batch is delivered within the linger bound.
+func TestLingerFlushesPartialBatch(t *testing.T) {
+	m, err := New[int](Config{Capacity: 64, Mode: Batched, Batch: 1024, Linger: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	s := m.NewSender(0)
+	start := time.Now()
+	s.Send(7, done)
+	v, ok := m.Recv(done)
+	if !ok || v != 7 {
+		t.Fatalf("Recv = %d,%v", v, ok)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("partial batch took %v to arrive", d)
+	}
+}
+
+// TestDoneUnblocksBothSides verifies closing done aborts a blocked send
+// and a blocked receive.
+func TestDoneUnblocksBothSides(t *testing.T) {
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, err := New[int](Config{Capacity: 1, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			s := m.NewSender(0)
+			s.Send(1, done)
+			res := make(chan SendResult, 1)
+			recvOK := make(chan bool, 1)
+			go func() { res <- s.Send(2, done) }()
+			empty, err := New[int](Config{Capacity: 1, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() { _, ok := empty.Recv(done); recvOK <- ok }()
+			time.Sleep(10 * time.Millisecond)
+			close(done)
+			if r := <-res; r != Closed {
+				t.Errorf("blocked send = %v, want Closed", r)
+			}
+			if ok := <-recvOK; ok {
+				t.Error("blocked recv returned ok after done")
+			}
+		})
+	}
+}
+
+// TestConcurrentSenders drives many producers through one mailbox in both
+// modes and checks exactly-once delivery (run under -race in CI).
+func TestConcurrentSenders(t *testing.T) {
+	const senders, each = 8, 2000
+	for _, mode := range modes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, err := New[int](Config{Capacity: 16, Mode: mode, Batch: 8, Linger: 100 * time.Microsecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < senders; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					s := m.NewSender(0)
+					for i := 0; i < each; i++ {
+						if s.Send(g*each+i, done) != Sent {
+							t.Errorf("sender %d: unexpected non-Sent", g)
+							return
+						}
+					}
+					s.Flush()
+				}(g)
+			}
+			seen := make(map[int]bool, senders*each)
+			for len(seen) < senders*each {
+				v, ok := m.Recv(done)
+				if !ok {
+					t.Fatal("Recv aborted")
+				}
+				if seen[v] {
+					t.Fatalf("tuple %d delivered twice", v)
+				}
+				seen[v] = true
+			}
+			wg.Wait()
+			close(done)
+		})
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"": PerTuple, "tuple": PerTuple, "per-tuple": PerTuple,
+		"batch": Batched, "batched": Batched,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus mode")
+	}
+	if PerTuple.String() != "tuple" || Batched.String() != "batch" {
+		t.Error("Mode.String not canonical")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](Config{Capacity: 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New[int](Config{Capacity: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := New[int](Config{Capacity: 1, Mode: Mode(42)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

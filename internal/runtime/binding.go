@@ -125,9 +125,10 @@ func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tu
 			}
 		}, false
 	}
-	return func(in operators.Tuple, outs *[]routed) {
-		*outs = append(*outs, routed{tuple: in, dest: -1})
-	}, false
+	// A nil executor marks the trivial unit-gain pass-through; the actor
+	// loops forward the input tuple directly, skipping the closure call
+	// and the routed-slice round trip per item.
+	return nil, false
 }
 
 // forward passes items through unchanged (plain emitters and collectors).

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
@@ -52,9 +53,11 @@ func AssignByOperator(p *plan.Plan, nodes int) []int {
 	return asg
 }
 
-// wire is the gob frame exchanged between nodes.
+// wire is the gob frame exchanged between nodes. In batched mode a frame
+// carries a whole micro-batch, amortizing the gob and syscall cost of a
+// TCP write over many tuples; in per-tuple mode every frame holds one.
 type wire struct {
-	Tuple operators.Tuple
+	Tuples []operators.Tuple
 }
 
 // handshake opens a cross-node stream for one physical edge.
@@ -97,12 +100,17 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 		return nil, err
 	}
 
+	eng, err := newEngine(p, binding, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
 	d := &distEngine{
-		engine:     *newEngine(p, binding, cfg.Config),
+		engine:     eng,
 		assignment: cfg.Assignment,
 		nodes:      cfg.Nodes,
 	}
-	d.engine.sendFn = d.send
+	d.sendFn = d.send
+	d.sendManyFn = d.sendMany
 
 	if err := d.connect(); err != nil {
 		d.shutdownTransport()
@@ -115,7 +123,7 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 
 // distEngine extends the local engine with the TCP data plane.
 type distEngine struct {
-	engine
+	*engine
 	assignment []int
 	nodes      int
 
@@ -127,16 +135,68 @@ type distEngine struct {
 	readers sync.WaitGroup
 }
 
+// remoteOutbox frames tuples onto one cross-node TCP stream. With batch 1
+// every tuple is its own frame (the per-tuple transport); with a larger
+// batch it accumulates a micro-batch, bounded by the linger so low-rate
+// edges keep flowing. The blocking gob write is what propagates
+// backpressure to the sending station.
 type remoteOutbox struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	batch  int
+	linger time.Duration
+	buf    []operators.Tuple
+	timer  *time.Timer
+	err    error
 }
 
+// send enqueues one tuple, flushing when the frame is full. The first
+// write error — including one hit by a linger flush — is sticky, so the
+// sending station observes it on its next send and shuts down.
 func (o *remoteOutbox) send(t operators.Tuple) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.enc.Encode(wire{Tuple: t})
+	if o.err != nil {
+		return o.err
+	}
+	o.buf = append(o.buf, t)
+	if len(o.buf) >= o.batch {
+		return o.flushLocked()
+	}
+	if len(o.buf) == 1 {
+		o.armTimerLocked()
+	}
+	return nil
+}
+
+func (o *remoteOutbox) flushLocked() error {
+	if len(o.buf) == 0 {
+		return o.err
+	}
+	err := o.enc.Encode(wire{Tuples: o.buf})
+	o.buf = o.buf[:0]
+	if err != nil && o.err == nil {
+		o.err = err
+	}
+	if o.timer != nil {
+		o.timer.Stop()
+	}
+	return o.err
+}
+
+func (o *remoteOutbox) flush() {
+	o.mu.Lock()
+	_ = o.flushLocked()
+	o.mu.Unlock()
+}
+
+func (o *remoteOutbox) armTimerLocked() {
+	if o.timer == nil {
+		o.timer = time.AfterFunc(o.linger, o.flush)
+		return
+	}
+	o.timer.Reset(o.linger)
 }
 
 // connect builds listeners per node and dials one stream per cross-node
@@ -175,10 +235,16 @@ func (d *distEngine) connect() error {
 			if d.senders[from] == nil {
 				d.senders[from] = make(map[plan.StationID]*remoteOutbox)
 			}
+			batch := 1
+			if d.cfg.Mailbox == mailbox.Batched {
+				batch = d.cfg.Batch
+			}
 			// The same encoder carries the handshake and the payload so
 			// the byte stream stays aligned with the receiver's single
 			// decoder.
-			d.senders[from][e.To] = &remoteOutbox{conn: conn, enc: enc}
+			d.senders[from][e.To] = &remoteOutbox{
+				conn: conn, enc: enc, batch: batch, linger: d.cfg.Linger,
+			}
 		}
 	}
 	return nil
@@ -223,13 +289,19 @@ func (d *distEngine) readLoop(conn net.Conn) {
 	if int(hs.Target) < 0 || int(hs.Target) >= len(d.mailboxes) {
 		return
 	}
+	// The reader gets its own producer handle on the target mailbox; a
+	// blocking admission (no timeout) is what stalls the TCP stream and
+	// propagates backpressure to the remote writer.
+	snd := d.mailboxes[hs.Target].NewSender(0)
 	for {
 		var w wire
 		if err := dec.Decode(&w); err != nil {
 			return
 		}
-		select {
-		case d.mailboxes[hs.Target] <- w.Tuple:
+		for _, t := range w.Tuples {
+			if snd.Send(t, d.done) != mailbox.Sent {
+				return
+			}
 			// Both ends of the edge are counted here: emission is only
 			// final once the item clears the network and lands in the
 			// target mailbox (TCP windowing makes sender-side counts
@@ -238,8 +310,6 @@ func (d *distEngine) readLoop(conn net.Conn) {
 			if int(hs.From) >= 0 && int(hs.From) < len(d.emitted) {
 				d.emitted[hs.From].Add(1)
 			}
-		case <-d.done:
-			return
 		}
 	}
 }
@@ -259,7 +329,7 @@ func (d *distEngine) shutdownTransport() {
 
 // send routes one item: cross-node edges go over TCP, everything else
 // through the in-process mailbox.
-func (d *distEngine) send(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool {
+func (d *distEngine) send(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool {
 	if outs := d.senders[from]; outs != nil {
 		if ob := outs[edge.To]; ob != nil {
 			select {
@@ -275,7 +345,29 @@ func (d *distEngine) send(from plan.StationID, edge *plan.Edge, t operators.Tupl
 			return true
 		}
 	}
-	return d.localSend(from, edge, t)
+	return d.localSend(from, edgeIdx, edge, t)
+}
+
+// sendMany routes one output batch: cross-node edges append to the
+// remote outbox (which frames whole micro-batches per TCP write),
+// everything else goes through the in-process bulk path.
+func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool {
+	if outs := d.senders[from]; outs != nil {
+		if ob := outs[edge.To]; ob != nil {
+			select {
+			case <-d.done:
+				return false
+			default:
+			}
+			for _, t := range ts {
+				if err := ob.send(t); err != nil {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return d.localSendMany(from, edgeIdx, edge, ts)
 }
 
 // run starts the actors and measures, mirroring the local engine but

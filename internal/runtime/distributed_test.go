@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
 )
@@ -144,5 +145,32 @@ func TestAssignByOperator(t *testing.T) {
 			t.Errorf("operator %d split across nodes", st.Op)
 		}
 		byOp[st.Op] = asg[i]
+	}
+}
+
+func TestDistributedBatchedPipeline(t *testing.T) {
+	// The batched transport frames whole micro-batches per TCP write;
+	// throughput must still match the model and network backpressure must
+	// survive (run under -race in CI to exercise the concurrent batch
+	// path).
+	topo := pipeline(t, 0.005, 0.002, 0.001)
+	a, err := core.SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(topo, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DistributedConfig{Config: shortCfg(42), Nodes: 2}
+	cfg.Mailbox = mailbox.Batched
+	cfg.Duration = 3 * time.Second
+	cfg.Warmup = 1500 * time.Millisecond
+	m, err := RunDistributed(context.Background(), p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(m.Throughput, a.Throughput()); e > 0.25 {
+		t.Errorf("throughput = %v, predicted %v (err %.3f)", m.Throughput, a.Throughput(), e)
 	}
 }

@@ -1,11 +1,13 @@
 // Package runtime executes SpinStreams physical plans on goroutines: the
 // repo's analog of the paper's SS2Akka layer on the Akka actor runtime
 // (Section 4.2). Each station runs as one goroutine (an actor) with a
-// bounded channel as its mailbox; a send into a full mailbox blocks the
-// sender, which is exactly the Blocking-After-Service semantics the cost
-// models assume. Replicated operators execute behind emitter and collector
-// actors; fused subgraphs execute inside a single meta-operator actor per
-// Algorithm 4.
+// bounded mailbox (internal/mailbox); a send into a full mailbox blocks
+// the sender, which is exactly the Blocking-After-Service semantics the
+// cost models assume. The mailbox offers two transports — per-tuple
+// channel sends and pooled micro-batches — both accounting capacity in
+// tuples, so BAS holds under either. Replicated operators execute behind
+// emitter and collector actors; fused subgraphs execute inside a single
+// meta-operator actor per Algorithm 4.
 //
 // Because operators' real compute cost is far below the profiled service
 // times the experiments assign, workers pad each item to the station's
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
@@ -63,17 +66,58 @@ type Config struct {
 	// with unit gain — with selectivity, replicas drop or multiply items
 	// and a sequence-based reorder buffer would stall.
 	PreserveOrder bool
+	// Mailbox selects the dataplane transport: mailbox.PerTuple (default)
+	// sends every item as one channel operation; mailbox.Batched moves
+	// pooled micro-batches while still accounting capacity in tuples, so
+	// BAS blocking — and with it the steady-state model — is unchanged.
+	Mailbox mailbox.Mode
+	// Batch is the micro-batch size in batched mode (default
+	// mailbox.DefaultBatch). Ignored in per-tuple mode.
+	Batch int
+	// Linger bounds how long a partial batch may wait before being
+	// flushed in batched mode (default mailbox.DefaultLinger), so
+	// low-rate edges don't stall. Ignored in per-tuple mode.
+	Linger time.Duration
 }
 
+// withDefaults fills zero fields and rejects nonsensical configurations
+// instead of silently coercing them.
 func (c Config) withDefaults() (Config, error) {
-	if c.MailboxSize <= 0 {
+	if c.MailboxSize < 0 {
+		return c, fmt.Errorf("runtime: negative MailboxSize %d", c.MailboxSize)
+	}
+	if c.MailboxSize == 0 {
 		c.MailboxSize = 64
 	}
-	if c.Duration <= 0 {
+	if c.Duration < 0 {
+		return c, fmt.Errorf("runtime: negative Duration %v", c.Duration)
+	}
+	if c.Duration == 0 {
 		c.Duration = 3 * time.Second
 	}
-	if c.Warmup <= 0 || c.Warmup >= c.Duration {
+	if c.Warmup < 0 {
+		return c, fmt.Errorf("runtime: negative Warmup %v", c.Warmup)
+	}
+	if c.Warmup == 0 {
 		c.Warmup = c.Duration / 4
+	}
+	if c.Warmup >= c.Duration {
+		return c, fmt.Errorf("runtime: Warmup %v must be shorter than Duration %v", c.Warmup, c.Duration)
+	}
+	if c.SendTimeout < 0 {
+		return c, fmt.Errorf("runtime: negative SendTimeout %v", c.SendTimeout)
+	}
+	if c.Batch < 0 {
+		return c, fmt.Errorf("runtime: negative Batch %d", c.Batch)
+	}
+	if c.Batch == 0 {
+		c.Batch = mailbox.DefaultBatch
+	}
+	if c.Linger < 0 {
+		return c, fmt.Errorf("runtime: negative Linger %v", c.Linger)
+	}
+	if c.Linger == 0 {
+		c.Linger = mailbox.DefaultLinger
 	}
 	if c.Generator == nil {
 		g, err := operators.NewGenerator(operators.GeneratorConfig{Seed: c.Seed + 1})
@@ -131,14 +175,23 @@ type engine struct {
 	p         *plan.Plan
 	cfg       Config
 	binding   *Binding
-	mailboxes []chan operators.Tuple
-	done      chan struct{}
-	wg        sync.WaitGroup
+	mailboxes []*mailbox.Mailbox[operators.Tuple]
+	// senders[station][edgeIdx] is the station's producer handle for its
+	// edgeIdx-th output edge; each station goroutine owns its senders, so
+	// partial micro-batches are single-writer.
+	senders [][]*mailbox.Sender[operators.Tuple]
+	done    chan struct{}
+	wg      sync.WaitGroup
 
-	// sendFn delivers one routed item along a physical edge; the local
-	// engine pushes into the in-process mailbox, the distributed engine
-	// routes cross-node edges over TCP. It returns false on shutdown.
-	sendFn func(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool
+	// sendFn delivers one routed item along a physical edge (edgeIdx
+	// indexes the station's Out slice); the local engine pushes into the
+	// in-process mailbox, the distributed engine routes cross-node edges
+	// over TCP. It returns false on shutdown.
+	sendFn func(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool
+	// sendManyFn is the bulk counterpart used by the batched station
+	// loop: it delivers a whole output batch along one edge with the
+	// same per-tuple admission and shedding semantics as sendFn.
+	sendManyFn func(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool
 
 	consumed []atomic.Uint64
 	emitted  []atomic.Uint64
@@ -147,12 +200,13 @@ type engine struct {
 }
 
 // newEngine allocates the shared engine state.
-func newEngine(p *plan.Plan, binding *Binding, cfg Config) *engine {
+func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 	e := &engine{
 		p:         p,
 		cfg:       cfg,
 		binding:   binding,
-		mailboxes: make([]chan operators.Tuple, len(p.Stations)),
+		mailboxes: make([]*mailbox.Mailbox[operators.Tuple], len(p.Stations)),
+		senders:   make([][]*mailbox.Sender[operators.Tuple], len(p.Stations)),
 		done:      make(chan struct{}),
 		consumed:  make([]atomic.Uint64, len(p.Stations)),
 		emitted:   make([]atomic.Uint64, len(p.Stations)),
@@ -160,48 +214,62 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) *engine {
 		dropped:   make([]atomic.Uint64, len(p.Stations)),
 	}
 	for i := range e.mailboxes {
-		e.mailboxes[i] = make(chan operators.Tuple, cfg.MailboxSize)
+		m, err := mailbox.New[operators.Tuple](mailbox.Config{
+			Capacity: cfg.MailboxSize,
+			Mode:     cfg.Mailbox,
+			Batch:    cfg.Batch,
+			Linger:   cfg.Linger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: station %d: %w", i, err)
+		}
+		e.mailboxes[i] = m
+	}
+	for i := range p.Stations {
+		out := p.Stations[i].Out
+		e.senders[i] = make([]*mailbox.Sender[operators.Tuple], len(out))
+		for j := range out {
+			e.senders[i][j] = e.mailboxes[out[j].To].NewSender(cfg.SendTimeout)
+		}
 	}
 	e.sendFn = e.localSend
-	return e
+	e.sendManyFn = e.localSendMany
+	return e, nil
 }
 
 // localSend pushes into the in-process mailbox, blocking on a full buffer
 // (BAS) until shutdown — or, with a SendTimeout configured, discarding the
-// item once the timeout expires (Akka's BoundedMailbox semantics).
-func (e *engine) localSend(from plan.StationID, edge *plan.Edge, t operators.Tuple) bool {
-	if e.cfg.SendTimeout > 0 {
-		// Fast path first: an immediate slot avoids the timer.
-		select {
-		case e.mailboxes[edge.To] <- t:
-			e.emitted[from].Add(1)
-			e.arrived[edge.To].Add(1)
-			return true
-		default:
-		}
-		timer := time.NewTimer(e.cfg.SendTimeout)
-		defer timer.Stop()
-		select {
-		case e.mailboxes[edge.To] <- t:
-			e.emitted[from].Add(1)
-			e.arrived[edge.To].Add(1)
-			return true
-		case <-timer.C:
-			e.emitted[from].Add(1)
-			e.dropped[edge.To].Add(1)
-			return true
-		case <-e.done:
-			return false
-		}
-	}
-	select {
-	case e.mailboxes[edge.To] <- t:
+// item once the timeout expires (Akka's BoundedMailbox semantics). The
+// timeout can only reject the item being admitted: tuples a mailbox has
+// already accepted are never dropped, in either transport mode.
+func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool {
+	switch e.senders[from][edgeIdx].Send(t, e.done) {
+	case mailbox.Sent:
 		e.emitted[from].Add(1)
 		e.arrived[edge.To].Add(1)
 		return true
-	case <-e.done:
+	case mailbox.Dropped:
+		e.emitted[from].Add(1)
+		e.dropped[edge.To].Add(1)
+		return true
+	default: // mailbox.Closed: engine shutdown
 		return false
 	}
+}
+
+// localSendMany delivers a whole output batch along one edge. Counter
+// semantics match per-tuple sends exactly: every admitted tuple counts as
+// emitted and arrived, every shed tuple as emitted and dropped.
+func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool {
+	sent, dropped, ok := e.senders[from][edgeIdx].SendMany(ts, e.done)
+	if n := uint64(sent + dropped); n > 0 {
+		e.emitted[from].Add(n)
+		e.arrived[edge.To].Add(uint64(sent))
+		if dropped > 0 {
+			e.dropped[edge.To].Add(uint64(dropped))
+		}
+	}
+	return ok
 }
 
 // Run executes the plan for cfg.Duration and reports steady-state metrics.
@@ -222,7 +290,10 @@ func Run(ctx context.Context, p *plan.Plan, binding *Binding, cfg Config) (*Metr
 	if err := binding.validate(p); err != nil {
 		return nil, err
 	}
-	e := newEngine(p, binding, cfg)
+	e, err := newEngine(p, binding, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return e.execute(ctx)
 }
 
@@ -335,17 +406,29 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 		return
 	}
 	pace := newPacer(st.ServiceTime)
+	// Without padding the clock read per item is pure dataplane overhead
+	// (the pacer never runs); skip it so raw throughput measures the
+	// transport, not the vDSO.
+	usePace := !e.cfg.NoServicePadding && !selfPaced
+	if e.cfg.Mailbox == mailbox.Batched {
+		e.runStationBatched(st, rng, exec, usePace, pace)
+		return
+	}
+	if exec == nil {
+		exec = forward
+	}
 	for {
-		var tup operators.Tuple
-		select {
-		case <-e.done:
+		tup, ok := e.mailboxes[st.ID].Recv(e.done)
+		if !ok {
 			return
-		case tup = <-e.mailboxes[st.ID]:
 		}
-		started := time.Now()
+		var started time.Time
+		if usePace {
+			started = time.Now()
+		}
 		outs = outs[:0]
 		exec(tup, &outs)
-		if !e.cfg.NoServicePadding && !selfPaced {
+		if usePace {
 			pace.wait(started)
 		}
 		e.consumed[st.ID].Add(1)
@@ -365,25 +448,193 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 	}
 }
 
+// runStationBatched is the actor loop on the batched transport: it drains
+// whole micro-batches from the inbox, routes outputs into per-edge
+// buffers, and delivers them in bulk. Operator execution, pacing, routing
+// decisions, and shedding all remain per-tuple; only the queue
+// synchronization and counter updates are amortized over batches. Output
+// buffers never persist across input batches, so the engine holds no
+// tuples outside a mailbox while idle — the upstream linger chain bounds
+// end-to-end latency exactly as in per-tuple mode.
+func (e *engine) runStationBatched(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) {
+	rr := 0
+	outs := make([]routed, 0, 8)
+	inbox := e.mailboxes[st.ID]
+	sink := len(st.Out) == 0
+	outBufs := make([][]operators.Tuple, len(st.Out))
+	for i := range outBufs {
+		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
+	}
+	// Trivial pass-through on a single edge (the common pipeline shape):
+	// forward the input batch wholesale — no closure call, no routed
+	// slice, no per-tuple routing decision. Pacing still needs the
+	// per-tuple loop, so the wholesale path requires usePace off.
+	forwardWhole := exec == nil && len(st.Out) == 1 && !usePace
+	if exec == nil {
+		exec = forward
+	}
+	for {
+		if inbox.Queued() == 0 {
+			// About to go idle: hand partial output batches downstream
+			// so a quiet edge never strands tuples behind this
+			// station's empty inbox.
+			for _, s := range e.senders[st.ID] {
+				s.Flush()
+			}
+		}
+		batch, ok := inbox.RecvBatch(e.done)
+		if !ok {
+			return
+		}
+		if forwardWhole {
+			for i := range batch {
+				batch[i].Port = st.Out[0].Port
+			}
+			if !e.sendManyFn(st.ID, 0, &st.Out[0], batch) {
+				return
+			}
+			e.consumed[st.ID].Add(uint64(len(batch)))
+			inbox.Recycle(batch)
+			continue
+		}
+		for _, tup := range batch {
+			var started time.Time
+			if usePace {
+				started = time.Now()
+			}
+			outs = outs[:0]
+			exec(tup, &outs)
+			if usePace {
+				pace.wait(started)
+			}
+			if sink {
+				// Sink: results leave the system.
+				e.emitted[st.ID].Add(uint64(len(outs)))
+				if e.cfg.OnSink != nil {
+					for _, o := range outs {
+						e.cfg.OnSink(st.Op, o.tuple)
+					}
+				}
+				continue
+			}
+			for _, o := range outs {
+				idx := e.pickEdge(st, o, rng, &rr)
+				if idx < 0 {
+					continue
+				}
+				t := o.tuple
+				t.Port = st.Out[idx].Port
+				outBufs[idx] = append(outBufs[idx], t)
+				if len(outBufs[idx]) >= e.cfg.Batch {
+					if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
+						return
+					}
+					outBufs[idx] = outBufs[idx][:0]
+				}
+			}
+		}
+		e.consumed[st.ID].Add(uint64(len(batch)))
+		inbox.Recycle(batch)
+		for idx := range outBufs {
+			if len(outBufs[idx]) == 0 {
+				continue
+			}
+			if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
+				return
+			}
+			outBufs[idx] = outBufs[idx][:0]
+		}
+	}
+}
+
 // runSource generates the input stream at the source's service rate,
 // subject to backpressure on its output mailboxes.
 func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 	rr := 0
 	pace := newPacer(st.ServiceTime)
+	usePace := !e.cfg.NoServicePadding
+	if e.cfg.Mailbox == mailbox.Batched {
+		e.runSourceBatched(st, rng, usePace, pace)
+		return
+	}
+	one := make([]routed, 1)
 	for {
 		select {
 		case <-e.done:
 			return
 		default:
 		}
-		started := time.Now()
+		var started time.Time
+		if usePace {
+			started = time.Now()
+		}
 		tup := e.cfg.Generator.Next()
-		if !e.cfg.NoServicePadding {
+		if usePace {
 			pace.wait(started)
 		}
 		e.consumed[st.ID].Add(1)
-		if !e.flush(st, []routed{{tuple: tup, dest: -1}}, rng, &rr) {
+		one[0] = routed{tuple: tup, dest: -1}
+		if !e.flush(st, one, rng, &rr) {
 			return
+		}
+	}
+}
+
+// runSourceBatched generates the stream in micro-batches: tuples are
+// paced and routed individually, then delivered per edge in bulk. Under
+// padding a linger bound flushes partial buffers so a slow source still
+// feeds the pipeline promptly.
+func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool, pace *pacer) {
+	rr := 0
+	outBufs := make([][]operators.Tuple, len(st.Out))
+	for i := range outBufs {
+		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
+	}
+	buffered := 0
+	var firstBuffered time.Time
+	flushAll := func() bool {
+		for idx := range outBufs {
+			if len(outBufs[idx]) == 0 {
+				continue
+			}
+			if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
+				return false
+			}
+			outBufs[idx] = outBufs[idx][:0]
+		}
+		buffered = 0
+		return true
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		var started time.Time
+		if usePace {
+			started = time.Now()
+		}
+		tup := e.cfg.Generator.Next()
+		if usePace {
+			pace.wait(started)
+		}
+		e.consumed[st.ID].Add(1)
+		idx := e.pickEdge(st, routed{tuple: tup, dest: -1}, rng, &rr)
+		if idx < 0 {
+			continue
+		}
+		tup.Port = st.Out[idx].Port
+		if buffered == 0 {
+			firstBuffered = started
+		}
+		outBufs[idx] = append(outBufs[idx], tup)
+		buffered++
+		if len(outBufs[idx]) >= e.cfg.Batch ||
+			(usePace && time.Since(firstBuffered) >= e.cfg.Linger) {
+			if !flushAll() {
+				return
+			}
 		}
 	}
 }
@@ -392,61 +643,63 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 // returns false when the engine is shutting down.
 func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int) bool {
 	for _, o := range outs {
-		edge := e.pickEdge(st, o, rng, rr)
-		if edge == nil {
+		idx := e.pickEdge(st, o, rng, rr)
+		if idx < 0 {
 			continue
 		}
+		edge := &st.Out[idx]
 		t := o.tuple
 		t.Port = edge.Port
-		if !e.sendFn(st.ID, edge, t) {
+		if !e.sendFn(st.ID, idx, edge, t) {
 			return false
 		}
 	}
 	return true
 }
 
-// pickEdge selects the output edge for one item per the station's routing
-// discipline, or honors an explicit meta-operator destination.
-func (e *engine) pickEdge(st *plan.Station, o routed, rng *stats.RNG, rr *int) *plan.Edge {
+// pickEdge selects the index of the output edge for one item per the
+// station's routing discipline, or honors an explicit meta-operator
+// destination; -1 means the item has no destination.
+func (e *engine) pickEdge(st *plan.Station, o routed, rng *stats.RNG, rr *int) int {
 	out := st.Out
 	if len(out) == 0 {
-		return nil
+		return -1
 	}
 	if o.dest >= 0 {
 		entry := e.p.EntryOf[o.dest]
 		for i := range out {
 			if out[i].To == entry {
-				return &out[i]
+				return i
 			}
 		}
-		return nil
+		return -1
 	}
 	if len(out) == 1 {
-		return &out[0]
+		return 0
 	}
 	switch st.Discipline {
 	case plan.RoundRobin:
-		edge := &out[*rr%len(out)]
+		idx := *rr % len(out)
 		*rr++
-		return edge
+		return idx
 	case plan.KeyHash:
 		if n := len(st.KeyReplica); n > 0 {
 			r := st.KeyReplica[int(o.tuple.Key)%n]
 			if r >= 0 && r < len(out) {
-				return &out[r]
+				return r
 			}
 		}
-		return &out[int(o.tuple.Key)%len(out)]
+		return int(o.tuple.Key) % len(out)
 	default:
 		u := rng.Float64()
 		acc := 0.0
 		for i := range out {
 			acc += out[i].Prob
 			if u < acc {
-				return &out[i]
+				return i
 			}
 		}
-		return &out[len(out)-1]
+		return len(out) - 1
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
@@ -425,5 +426,158 @@ func TestRunSendTimeoutSheds(t *testing.T) {
 	// The sink still receives roughly the bottleneck-limited flow.
 	if e := stats.RelErr(m.Arrival[2], model.SinkRate); e > 0.3 {
 		t.Errorf("sink arrival = %v, model %v", m.Arrival[2], model.SinkRate)
+	}
+}
+
+func TestConfigRejectsNonsense(t *testing.T) {
+	// Invalid configurations must surface as errors, not be silently
+	// coerced into something runnable.
+	bad := map[string]Config{
+		"warmup >= duration":   {Duration: time.Second, Warmup: time.Second},
+		"warmup > duration":    {Duration: time.Second, Warmup: 2 * time.Second},
+		"negative duration":    {Duration: -time.Second},
+		"negative warmup":      {Warmup: -time.Second},
+		"negative sendtimeout": {SendTimeout: -time.Millisecond},
+		"negative mailbox":     {MailboxSize: -1},
+		"negative batch":       {Batch: -8},
+		"negative linger":      {Linger: -time.Millisecond},
+	}
+	for name, cfg := range bad {
+		if _, err := cfg.withDefaults(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		// The same rejection must reach the public entry point.
+		if _, err := RunTopology(context.Background(), pipeline(t, 0.001, 0.001), nil, nil, cfg); err == nil {
+			t.Errorf("%s: Run accepted", name)
+		}
+	}
+	// Zero values still take defaults.
+	got, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MailboxSize != 64 || got.Duration != 3*time.Second || got.Warmup != got.Duration/4 {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	if got.Batch == 0 || got.Linger == 0 {
+		t.Errorf("batch/linger defaults not applied: %+v", got)
+	}
+}
+
+func batchedCfg(seed uint64) Config {
+	cfg := shortCfg(seed)
+	cfg.Mailbox = mailbox.Batched
+	return cfg
+}
+
+func TestRunBatchedMatchesModel(t *testing.T) {
+	// The batched transport must carry the same steady state as the
+	// per-tuple one: tuple-accounted credits keep BAS blocking identical.
+	topo := pipeline(t, 0.005, 0.002, 0.001)
+	a, err := core.SteadyState(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunTopology(context.Background(), topo, nil, nil, batchedCfg(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(m.Throughput, a.Throughput()); e > 0.15 {
+		t.Errorf("throughput = %v, predicted %v (err %.3f)", m.Throughput, a.Throughput(), e)
+	}
+}
+
+func TestRunBatchedBackpressure(t *testing.T) {
+	// A bottleneck must throttle the source through blocked batched sends
+	// exactly as through blocked channel sends.
+	topo := pipeline(t, 0.002, 0.010, 0.001)
+	m, err := RunTopology(context.Background(), topo, nil, nil, batchedCfg(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stats.RelErr(m.Throughput, 100); e > 0.15 {
+		t.Errorf("throughput = %v, want ~100 (err %.3f)", m.Throughput, e)
+	}
+}
+
+func TestRunBatchedPreserveOrder(t *testing.T) {
+	// Order restoration composes with the batched transport: batches
+	// preserve per-edge FIFO, so the collector's sequence logic is
+	// unchanged.
+	topo := pipeline(t, 0.001, 0.004, 0.0001)
+	fis, err := core.EliminateBottlenecks(topo, core.FissionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seqs []uint64
+	cfg := batchedCfg(82)
+	cfg.PreserveOrder = true
+	cfg.OnSink = func(op core.OpID, tp operators.Tuple) {
+		mu.Lock()
+		seqs = append(seqs, tp.Seq)
+		mu.Unlock()
+	}
+	if _, err := RunTopology(context.Background(), topo, fis.Analysis.Replicas, nil, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) < 100 {
+		t.Fatalf("sink observed only %d items", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("order violated at %d: seq %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+}
+
+func TestBatchedSheddingParity(t *testing.T) {
+	// Regression for the drop-accounting contract: with a send timeout,
+	// the batched transport sheds exactly like the per-tuple one — only
+	// tuples awaiting admission are dropped, never tuples a mailbox (or a
+	// partial batch) already accepted. If admitted tuples were lost, the
+	// bottleneck would consume less than its measured admissions and the
+	// sink would fall below the shedding model's rate.
+	topo := pipeline(t, 0.001, 0.004, 0.0001)
+	model, err := core.SteadyStateShedding(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := shortCfg(83)
+			cfg.Mailbox = mode
+			cfg.SendTimeout = time.Millisecond
+			cfg.MailboxSize = 8
+			m, err := RunTopology(context.Background(), topo, nil, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Dropped[1] < 100 {
+				t.Errorf("drop rate = %v, want substantial shedding", m.Dropped[1])
+			}
+			// Conservation after admission: everything admitted into the
+			// bottleneck's mailbox is consumed (the queue residue over the
+			// window is at most MailboxSize items, negligible as a rate).
+			var bottleneck *StationMetrics
+			for i := range m.Stations {
+				if m.Stations[i].Name == "sB" {
+					bottleneck = &m.Stations[i]
+				}
+			}
+			if bottleneck == nil {
+				t.Fatal("bottleneck station not found")
+			}
+			if e := stats.RelErr(bottleneck.ConsumeRate, m.Arrival[1]); e > 0.1 {
+				t.Errorf("bottleneck consumed %v/s of %v/s admitted (err %.3f): admitted tuples were lost",
+					bottleneck.ConsumeRate, m.Arrival[1], e)
+			}
+			// And the sink still sees the bottleneck-limited flow.
+			if e := stats.RelErr(m.Arrival[2], model.SinkRate); e > 0.3 {
+				t.Errorf("sink arrival = %v, model %v", m.Arrival[2], model.SinkRate)
+			}
+		})
 	}
 }
