@@ -452,8 +452,17 @@ func cmdRun(args []string) error {
 	mode := fs.String("mailbox-mode", "tuple", "dataplane transport: tuple (one channel send per item) or batch (pooled micro-batches)")
 	batch := fs.Int("batch", 0, "micro-batch size in batch mode (0 = runtime default)")
 	linger := fs.Duration("linger", 0, "max wait before a partial batch is flushed (0 = runtime default)")
+	warmup := fs.Duration("warmup", 0, "measurement warmup excluded from the window (0 = duration/4; must be < duration)")
+	maxRestarts := fs.Int("max-restarts", 0, "restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff for failed cross-node sends with -nodes > 1 (0 = default 2ms)")
+	sendDeadline := fs.Duration("send-deadline", 0, "per-frame retry deadline for cross-node sends with -nodes > 1 (0 = default 2s, <0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Flag-level validation: the library treats zero as "use default",
+	// so nonsense explicitly typed on the command line is rejected here.
+	if *mailbox <= 0 {
+		return fmt.Errorf("run: -mailbox %d, want > 0", *mailbox)
 	}
 	transport, err := mbox.ParseMode(*mode)
 	if err != nil {
@@ -492,11 +501,13 @@ func cmdRun(args []string) error {
 	}
 	runCfg := runtime.Config{
 		Duration:    *duration,
+		Warmup:      *warmup,
 		MailboxSize: *mailbox,
 		Seed:        *seed,
 		Mailbox:     transport,
 		Batch:       *batch,
 		Linger:      *linger,
+		MaxRestarts: *maxRestarts,
 	}
 	var m *runtime.Metrics
 	if *nodes > 1 {
@@ -505,8 +516,10 @@ func cmdRun(args []string) error {
 			return err
 		}
 		m, err = runtime.RunDistributed(context.Background(), p, binding, runtime.DistributedConfig{
-			Config: runCfg,
-			Nodes:  *nodes,
+			Config:       runCfg,
+			Nodes:        *nodes,
+			RetryBackoff: *retryBackoff,
+			SendDeadline: *sendDeadline,
 		})
 		if err != nil {
 			return err
@@ -519,6 +532,9 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("predicted throughput: %.1f items/s\n", predicted)
 	fmt.Printf("measured  throughput: %.1f items/s\n", m.Throughput)
+	if m.Restarts > 0 || m.Degraded > 0 {
+		fmt.Printf("operator restarts: %d (degraded stations: %d)\n", m.Restarts, m.Degraded)
+	}
 	for op, d := range m.Departure {
 		fmt.Printf("  %-28s departure %10.1f items/s (arrival %10.1f)\n",
 			t.Op(core.OpID(op)).Name, d, m.Arrival[op])

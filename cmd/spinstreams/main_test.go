@@ -175,6 +175,51 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLIRunValidation pins the run subcommand's config validation:
+// nonsense typed on the command line must be rejected — either by the
+// flag layer itself or by the runtime config validation it feeds — and
+// never silently coerced into a runnable configuration.
+func TestCLIRunValidation(t *testing.T) {
+	topo := writePaperTopology(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative duration", []string{"-duration", "-1s"}},
+		{"warmup equals duration", []string{"-duration", "1s", "-warmup", "1s"}},
+		{"warmup exceeds duration", []string{"-duration", "1s", "-warmup", "2s"}},
+		{"negative warmup", []string{"-warmup", "-1s"}},
+		{"zero mailbox", []string{"-mailbox", "0"}},
+		{"negative mailbox", []string{"-mailbox", "-3"}},
+		{"negative batch", []string{"-batch", "-8"}},
+		{"negative linger", []string{"-linger", "-1ms"}},
+		{"unknown mailbox mode", []string{"-mailbox-mode", "bogus"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"run", "-in", topo}, tc.args...)
+			if err := run(args); err == nil {
+				t.Errorf("run %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+// TestCLIRunWithFaultToleranceFlags exercises the happy path with the
+// fault-tolerance and dataplane knobs set, confirming they parse and
+// reach the runtime.
+func TestCLIRunWithFaultToleranceFlags(t *testing.T) {
+	out, err := capture(t, "run", "-in", writePaperTopology(t),
+		"-duration", "400ms", "-warmup", "100ms", "-max-restarts", "2",
+		"-mailbox-mode", "batch", "-batch", "8", "-linger", "200us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "measured  throughput") {
+		t.Errorf("run output incomplete:\n%s", out)
+	}
+}
+
 func TestCLIProfile(t *testing.T) {
 	out, err := capture(t, "profile", "-samples", "500")
 	if err != nil {

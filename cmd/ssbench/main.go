@@ -46,6 +46,7 @@ func run() error {
 	liveMailbox := flag.String("mailbox", "tuple", "fig7live dataplane transport: tuple or batch")
 	liveBatch := flag.Int("batch", 0, "fig7live micro-batch size in batch mode (0 = runtime default)")
 	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
+	liveRestarts := flag.Int("max-restarts", 0, "fig7live: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
 	flag.Parse()
 	liveTransport, err := mailbox.ParseMode(*liveMailbox)
 	if err != nil {
@@ -155,11 +156,12 @@ func run() error {
 			return publish(name, res)
 		case "fig7live":
 			res, err := experiments.Fig7Live(context.Background(), setup, experiments.LiveOptions{
-				Topologies: *liveTopologies,
-				Duration:   *liveDuration,
-				Transport:  liveTransport,
-				Batch:      *liveBatch,
-				Linger:     *liveLinger,
+				Topologies:  *liveTopologies,
+				Duration:    *liveDuration,
+				Transport:   liveTransport,
+				Batch:       *liveBatch,
+				Linger:      *liveLinger,
+				MaxRestarts: *liveRestarts,
 			})
 			if err != nil {
 				return err

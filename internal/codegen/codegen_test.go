@@ -53,6 +53,8 @@ func TestGeneratePlain(t *testing.T) {
 		// them into the runtime config.
 		`flag.String("mailbox-mode"`, `flag.Int("batch"`, `flag.Duration("linger"`,
 		"mbox.ParseMode", "Mailbox:     transport",
+		// Fault-tolerance knob: bounded operator restart.
+		`flag.Int("max-restarts"`, "MaxRestarts: maxRestarts",
 	} {
 		if !strings.Contains(src, want) {
 			t.Errorf("generated code missing %q", want)

@@ -49,6 +49,10 @@ type LiveOptions struct {
 	// Batch and Linger tune the batched transport (0 = runtime default).
 	Batch  int
 	Linger time.Duration
+	// MaxRestarts bounds operator restart after a panic (0 = crash the
+	// run, <0 = unlimited); long live runs can opt into graceful
+	// degradation instead of losing the whole series to one fault.
+	MaxRestarts int
 }
 
 // Fig7Live measures prediction accuracy against live execution.
@@ -93,6 +97,7 @@ func Fig7Live(ctx context.Context, s Setup, opts LiveOptions) (*LiveResult, erro
 			Mailbox:     opts.Transport,
 			Batch:       opts.Batch,
 			Linger:      opts.Linger,
+			MaxRestarts: opts.MaxRestarts,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig7live topology %d: %w", i+1, err)

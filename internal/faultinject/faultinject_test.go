@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// schedule runs n tuples through one station's fault stream and records
+// which tuple indices drew a panic or a slowdown.
+func schedule(t *testing.T, seed uint64, station, n int) (panics, slows []int) {
+	t.Helper()
+	var slept int
+	inj := New(Config{
+		Seed:         seed,
+		PanicProb:    0.05,
+		SlowdownProb: 0.05,
+		Sleep:        func(time.Duration) { slept++ },
+	})
+	sf := inj.Station(station)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					var p *Panic
+					if err, ok := r.(error); !ok || !errors.As(err, &p) {
+						t.Fatalf("unexpected panic value %v", r)
+					}
+					panics = append(panics, i)
+				}
+			}()
+			before := slept
+			sf.OnProcess()
+			if slept > before {
+				slows = append(slows, i)
+			}
+		}()
+	}
+	return panics, slows
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	p1, s1 := schedule(t, 42, 3, 5000)
+	p2, s2 := schedule(t, 42, 3, 5000)
+	if !reflect.DeepEqual(p1, p2) || !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if len(p1) == 0 || len(s1) == 0 {
+		t.Fatalf("schedule is dead: %d panics, %d slowdowns", len(p1), len(s1))
+	}
+	p3, _ := schedule(t, 43, 3, 5000)
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Stations get independent streams from the same seed.
+	p4, _ := schedule(t, 42, 4, 5000)
+	if reflect.DeepEqual(p1, p4) {
+		t.Fatal("different stations produced identical schedules")
+	}
+}
+
+func TestStationStreamIsSingleton(t *testing.T) {
+	inj := New(Config{Seed: 1, PanicProb: 0.5})
+	if inj.Station(7) != inj.Station(7) {
+		t.Fatal("Station(7) returned two different streams")
+	}
+}
+
+func TestMaxPerStationCapsProcessFaults(t *testing.T) {
+	inj := New(Config{
+		Seed:          9,
+		PanicProb:     0.5,
+		SlowdownProb:  0.5,
+		MaxPerStation: 3,
+		Sleep:         func(time.Duration) {},
+	})
+	sf := inj.Station(0)
+	for i := 0; i < 10000; i++ {
+		func() {
+			defer func() { recover() }()
+			sf.OnProcess()
+		}()
+	}
+	c := inj.Counts()
+	if got := c.Panics + c.Slowdowns; got != 3 {
+		t.Fatalf("fired %d process faults, cap is 3", got)
+	}
+}
+
+func TestOnSendDelays(t *testing.T) {
+	var total time.Duration
+	inj := New(Config{
+		Seed:          5,
+		SendDelayProb: 0.2,
+		SendDelayFor:  time.Millisecond,
+		Sleep:         func(d time.Duration) { total += d },
+	})
+	sf := inj.Station(2)
+	for i := 0; i < 1000; i++ {
+		sf.OnSend()
+	}
+	c := inj.Counts()
+	if c.SendDelays == 0 {
+		t.Fatal("no send delays fired at prob 0.2 over 1000 sends")
+	}
+	if want := time.Duration(c.SendDelays) * time.Millisecond; total != want {
+		t.Fatalf("slept %v, want %v", total, want)
+	}
+}
+
+// stubConn is a minimal in-memory net.Conn for WrapConn tests.
+type stubConn struct {
+	net.Conn
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (c *stubConn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, errors.New("stub: closed")
+	}
+	return c.buf.Write(p)
+}
+
+func (c *stubConn) Close() error { c.closed = true; return nil }
+
+func TestWrapConnResets(t *testing.T) {
+	inj := New(Config{Seed: 1, ResetEveryWrites: 3, PartialWriteBytes: 2})
+	under := &stubConn{}
+	conn := inj.WrapConn(17, under)
+	payload := []byte("abcdef")
+	for i := 1; i <= 2; i++ {
+		if n, err := conn.Write(payload); err != nil || n != len(payload) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	n, err := conn.Write(payload)
+	if err == nil {
+		t.Fatal("third write did not reset")
+	}
+	if n != 2 {
+		t.Fatalf("partial write leaked %d bytes, want 2", n)
+	}
+	if !under.closed {
+		t.Fatal("underlying conn not closed on reset")
+	}
+	if got := under.buf.String(); got != "abcdefabcdefab" {
+		t.Fatalf("stream carries %q", got)
+	}
+	if inj.Counts().ConnResets != 1 {
+		t.Fatalf("ConnResets = %d, want 1", inj.Counts().ConnResets)
+	}
+}
+
+func TestWrapConnCountsAcrossReconnects(t *testing.T) {
+	inj := New(Config{Seed: 1, ResetEveryWrites: 4})
+	// First connection takes 2 writes, then "reconnects": the counter
+	// must carry over so the 4th write overall still resets.
+	c1 := inj.WrapConn(3, &stubConn{})
+	for i := 0; i < 2; i++ {
+		if _, err := c1.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := inj.WrapConn(3, &stubConn{})
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("4th write across reconnects did not reset")
+	}
+	// A different edge has its own counter.
+	other := inj.WrapConn(4, &stubConn{})
+	if _, err := other.Write([]byte("x")); err != nil {
+		t.Fatalf("fresh edge inherited another edge's counter: %v", err)
+	}
+}
+
+func TestWrapConnPartialNeverDeliversWholeBuffer(t *testing.T) {
+	inj := New(Config{Seed: 1, ResetEveryWrites: 1, PartialWriteBytes: 100})
+	under := &stubConn{}
+	conn := inj.WrapConn(0, under)
+	if n, _ := conn.Write([]byte("abc")); n >= 3 {
+		t.Fatalf("partial write delivered the whole %d-byte buffer", n)
+	}
+}
+
+func TestWrapConnDisabledIsPassThrough(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	under := &stubConn{}
+	if inj.WrapConn(0, under) != net.Conn(under) {
+		t.Fatal("WrapConn wrapped despite ResetEveryWrites == 0")
+	}
+}

@@ -170,6 +170,46 @@ func (m *Mailbox[T]) Queued() int {
 	return m.capacity - int(m.avail.Load())
 }
 
+// Capacity returns the BAS bound the mailbox was built with.
+func (m *Mailbox[T]) Capacity() int { return m.capacity }
+
+// Drain removes and counts every tuple still queued — including the
+// remainder of a batch the consumer was part-way through — returning
+// their capacity credits so the mailbox ends back at full capacity.
+// It must only be called once all producers and the consumer have
+// stopped; the runtime's drain-on-shutdown pass uses it to account for
+// in-flight tuples, and Queued() == 0 afterwards is the "credits
+// restored" invariant the chaos suite checks.
+func (m *Mailbox[T]) Drain() int {
+	n := 0
+	if m.mode == PerTuple {
+		for {
+			select {
+			case <-m.ch:
+				n++
+			default:
+				return n
+			}
+		}
+	}
+	// The consumer's in-hand batch already had its credits released at
+	// receive time; only count its unread tail. (The consumer nils cur
+	// on exit without resetting idx, so guard on cur, not idx.)
+	if m.cur != nil {
+		n += len(m.cur) - m.idx
+	}
+	m.cur, m.idx = nil, 0
+	for {
+		select {
+		case b := <-m.batches:
+			n += len(b)
+			m.release(len(b))
+		default:
+			return n
+		}
+	}
+}
+
 // tryAcquire takes one capacity credit if any remain.
 func (m *Mailbox[T]) tryAcquire() bool {
 	for {

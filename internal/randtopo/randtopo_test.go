@@ -1,6 +1,8 @@
 package randtopo
 
 import (
+	"fmt"
+	"hash/fnv"
 	"testing"
 
 	"spinstreams/internal/core"
@@ -196,6 +198,54 @@ func TestTestbedEntriesDiffer(t *testing.T) {
 	for i := 1; i < len(bed); i++ {
 		if bed[i].Topology.String() == bed[0].Topology.String() {
 			t.Fatalf("entries 0 and %d identical", i)
+		}
+	}
+}
+
+// fingerprint reduces a generated instance to an FNV-1a hash of its
+// canonical rendering (topology string plus every operator spec), so a
+// change to any structural or stochastic decision shows up as a
+// mismatch.
+func fingerprint(g *Generated) uint64 {
+	h := fnv.New64a()
+	fmt.Fprint(h, g.Topology.String())
+	for _, s := range g.Specs {
+		fmt.Fprintf(h, "%+v\n", s)
+	}
+	return h.Sum64()
+}
+
+// TestGenerateGolden pins exact generator output for fixed seeds. The
+// testbed, the chaos suites, and the recorded experiment numbers all
+// assume seed-stable generation: an intentional change to the generator
+// or its RNG must update these fingerprints (and expect re-recorded
+// experiment baselines); an accidental one must fail here.
+func TestGenerateGolden(t *testing.T) {
+	golden := []struct {
+		seed  uint64
+		ops   int
+		edges int
+		hash  uint64
+	}{
+		{seed: 1, ops: 11, edges: 13, hash: 0x55e3987ab2a02a4b},
+		{seed: 7, ops: 7, edges: 8, hash: 0x7cab7a3c6fed4417},
+		{seed: 42, ops: 11, edges: 14, hash: 0x74f422eca871790c},
+		{seed: 1234, ops: 10, edges: 14, hash: 0xd6f9439317b8a0f8},
+	}
+	for _, want := range golden {
+		g, err := Generate(Config{Seed: want.seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", want.seed, err)
+		}
+		if got := g.Topology.Len(); got != want.ops {
+			t.Errorf("seed %d: %d operators, want %d", want.seed, got, want.ops)
+		}
+		if got := g.Topology.NumEdges(); got != want.edges {
+			t.Errorf("seed %d: %d edges, want %d", want.seed, got, want.edges)
+		}
+		if got := fingerprint(g); got != want.hash {
+			t.Errorf("seed %d: fingerprint %#x, want %#x\n%s",
+				want.seed, got, want.hash, g.Topology.String())
 		}
 	}
 }

@@ -1,0 +1,297 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"spinstreams/internal/faultinject"
+	"spinstreams/internal/mailbox"
+	"spinstreams/internal/plan"
+)
+
+// chaosSchedules returns how many randomized fault schedules each chaos
+// test runs. SS_CHAOS_SCHEDULES overrides the default of 3, so CI can
+// run a single-schedule smoke in the fast job and the full sweep under
+// -race.
+func chaosSchedules(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("SS_CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SS_CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	return 3
+}
+
+// chaosRun executes a unit-gain pipeline on the local engine with the
+// given injector and returns the metrics plus the engine (for mailbox
+// credit checks).
+func chaosRun(t *testing.T, mode mailbox.Mode, inj *faultinject.Injector, maxRestarts int) (*Metrics, *engine) {
+	t.Helper()
+	topo := pipeline(t, 0.0002, 0.0002, 0.0001, 0.0001)
+	p, err := plan.Build(topo, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed:             7,
+		Duration:         500 * time.Millisecond,
+		Warmup:           150 * time.Millisecond,
+		MailboxSize:      32,
+		NoServicePadding: true,
+		SendTimeout:      200 * time.Microsecond,
+		Mailbox:          mode,
+		Batch:            16,
+		Linger:           300 * time.Microsecond,
+		MaxRestarts:      maxRestarts,
+		Faults:           inj,
+	}
+	cfg, err = cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEngine(p, &Binding{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := e.execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, e
+}
+
+// checkConservation asserts the exact lifetime identity for unit-gain
+// topologies: Generated == Delivered + Shed + Failed + Drained +
+// Abandoned.
+func checkConservation(t *testing.T, m *Metrics) {
+	t.Helper()
+	tt := m.Totals
+	out := tt.Delivered + tt.Shed + tt.Failed + tt.Drained + tt.Abandoned
+	if tt.Generated != out {
+		t.Fatalf("conservation violated: generated %d != delivered %d + shed %d + failed %d + drained %d + abandoned %d = %d",
+			tt.Generated, tt.Delivered, tt.Shed, tt.Failed, tt.Drained, tt.Abandoned, out)
+	}
+	if tt.Generated == 0 {
+		t.Fatal("source generated nothing")
+	}
+}
+
+// checkCreditsRestored asserts the drain pass returned every capacity
+// credit: no mailbox still accounts queued tuples.
+func checkCreditsRestored(t *testing.T, e *engine) {
+	t.Helper()
+	for i := range e.mailboxes {
+		if q := e.mailboxes[i].Queued(); q != 0 {
+			t.Fatalf("station %d mailbox still holds %d credits after drain", i, q)
+		}
+	}
+}
+
+// TestChaosConservationLocal is the core chaos invariant: under injected
+// slowdowns, panics (with unlimited restart), and send delays — plus
+// shedding from a tight SendTimeout — every generated tuple is accounted
+// for exactly, in both transports, across multiple fault schedules.
+func TestChaosConservationLocal(t *testing.T) {
+	for sched := 0; sched < chaosSchedules(t); sched++ {
+		for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+			t.Run(fmt.Sprintf("seed%d/%v", sched, mode), func(t *testing.T) {
+				t.Parallel()
+				inj := faultinject.New(faultinject.Config{
+					Seed:          uint64(2000 + sched),
+					SlowdownProb:  0.002,
+					SlowdownFor:   100 * time.Microsecond,
+					PanicProb:     0.0005,
+					SendDelayProb: 0.002,
+					SendDelayFor:  50 * time.Microsecond,
+				})
+				m, e := chaosRun(t, mode, inj, -1)
+				checkConservation(t, m)
+				checkCreditsRestored(t, e)
+				if m.Totals.Delivered == 0 {
+					t.Fatal("nothing delivered despite unlimited restarts")
+				}
+				c := inj.Counts()
+				if c.Slowdowns+c.Panics+c.SendDelays == 0 {
+					t.Fatal("fault schedule never fired")
+				}
+				if c.Panics > 0 && m.Restarts == 0 {
+					t.Fatalf("%d injected panics but no restarts recorded", c.Panics)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSheddingParityUnderFaults asserts the shedding semantics
+// survive injected faults identically in both transports: tuples are
+// shed (not lost) under pressure, and the conservation identity holds
+// for each mode.
+func TestChaosSheddingParityUnderFaults(t *testing.T) {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			inj := faultinject.New(faultinject.Config{
+				Seed:          99,
+				SlowdownProb:  0.05,
+				SlowdownFor:   300 * time.Microsecond,
+				SendDelayProb: 0.01,
+				SendDelayFor:  100 * time.Microsecond,
+			})
+			m, e := chaosRun(t, mode, inj, -1)
+			checkConservation(t, m)
+			checkCreditsRestored(t, e)
+			if m.Totals.Shed == 0 {
+				t.Fatal("no shedding under injected slowdowns with a tight SendTimeout")
+			}
+			if m.Totals.Delivered == 0 {
+				t.Fatal("nothing delivered")
+			}
+		})
+	}
+}
+
+// TestChaosDegradedStation exhausts a station's restart budget and
+// verifies graceful degradation: the run completes, the degraded station
+// keeps consuming (so the upstream cannot deadlock), and accounting
+// stays exact with the discarded tuples counted as failed.
+func TestChaosDegradedStation(t *testing.T) {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			inj := faultinject.New(faultinject.Config{
+				Seed:      4,
+				PanicProb: 0.02,
+			})
+			m, e := chaosRun(t, mode, inj, 2)
+			checkConservation(t, m)
+			checkCreditsRestored(t, e)
+			if m.Degraded == 0 {
+				t.Fatal("no station degraded despite 2% panic rate and a budget of 2")
+			}
+			if m.Totals.Failed == 0 {
+				t.Fatal("degraded stations recorded no failed tuples")
+			}
+			// The source must have kept producing long after the first
+			// panics: a deadlocked pipeline would freeze Generated near
+			// the mailbox capacity.
+			if m.Totals.Generated < 1000 {
+				t.Fatalf("source starved after degradation: generated only %d", m.Totals.Generated)
+			}
+			var restarts uint64
+			for _, st := range m.Stations {
+				restarts += st.Restarts
+			}
+			if restarts != m.Restarts {
+				t.Fatalf("per-station restarts sum %d != total %d", restarts, m.Restarts)
+			}
+		})
+	}
+}
+
+// TestChaosRecoveryDisabledByDefault pins the backward-compatible
+// default: MaxRestarts 0 installs no recover, so runs without faults
+// behave exactly as before (and the accounting buckets stay empty except
+// for shutdown residue).
+func TestChaosRecoveryDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	m, e := chaosRun(t, mailbox.PerTuple, nil, 0)
+	checkConservation(t, m)
+	checkCreditsRestored(t, e)
+	if m.Restarts != 0 || m.Degraded != 0 {
+		t.Fatalf("restarts %d degraded %d on a fault-free run", m.Restarts, m.Degraded)
+	}
+	if m.Totals.Failed != 0 {
+		t.Fatalf("failed %d without any panics", m.Totals.Failed)
+	}
+}
+
+// TestChaosDistributedConnReset injects periodic connection resets with
+// partial writes into a two-node pipeline and verifies the retry/backoff
+// path: the run survives, traffic keeps flowing after resets, and the
+// conservation identity holds with network in-flight loss accounted.
+func TestChaosDistributedConnReset(t *testing.T) {
+	for sched := 0; sched < chaosSchedules(t); sched++ {
+		t.Run(fmt.Sprintf("seed%d", sched), func(t *testing.T) {
+			topo := pipeline(t, 0.0005, 0.0002, 0.0001)
+			p, err := plan.Build(topo, plan.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := faultinject.New(faultinject.Config{
+				Seed:              uint64(3000 + sched),
+				ResetEveryWrites:  40,
+				PartialWriteBytes: 7,
+			})
+			cfg := DistributedConfig{
+				Config: Config{
+					Seed:        uint64(sched),
+					Duration:    1200 * time.Millisecond,
+					Warmup:      300 * time.Millisecond,
+					MailboxSize: 32,
+					MaxRestarts: -1,
+					Faults:      inj,
+				},
+				Nodes:        2,
+				RetryBackoff: time.Millisecond,
+				SendDeadline: 2 * time.Second,
+			}
+			m, err := RunDistributed(context.Background(), p, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkConservation(t, m)
+			c := inj.Counts()
+			if c.ConnResets == 0 {
+				t.Fatal("no connection resets fired")
+			}
+			// Retry/backoff must keep the pipeline alive across resets:
+			// the source paces at 2000/s, so a dead edge would strand
+			// nearly everything.
+			if m.Totals.Delivered < m.Totals.Generated/2 {
+				t.Fatalf("pipeline did not survive resets: delivered %d of %d (resets %d)",
+					m.Totals.Delivered, m.Totals.Generated, c.ConnResets)
+			}
+		})
+	}
+}
+
+// TestChaosDistributedLegacyStickyError pins the opt-out: a negative
+// SendDeadline restores the historical behaviour where the first write
+// error kills the edge — and the accounting still balances.
+func TestChaosDistributedLegacyStickyError(t *testing.T) {
+	topo := pipeline(t, 0.0005, 0.0002, 0.0001)
+	p, err := plan.Build(topo, plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:             11,
+		ResetEveryWrites: 25,
+	})
+	cfg := DistributedConfig{
+		Config: Config{
+			Seed:        11,
+			Duration:    900 * time.Millisecond,
+			Warmup:      200 * time.Millisecond,
+			MailboxSize: 32,
+			Faults:      inj,
+		},
+		Nodes:        2,
+		SendDeadline: -1,
+	}
+	m, err := RunDistributed(context.Background(), p, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, m)
+	if inj.Counts().ConnResets == 0 {
+		t.Fatal("no reset fired")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spinstreams/internal/mailbox"
@@ -14,6 +15,16 @@ import (
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
 )
+
+var (
+	// errShutdown aborts a remote send when the run is stopping.
+	errShutdown = errors.New("runtime: shutdown")
+	// errEdgeDown is the sticky legacy-mode error after a fatal write.
+	errEdgeDown = errors.New("runtime: remote edge down")
+)
+
+// maxRetryBackoff caps the exponential redial backoff.
+const maxRetryBackoff = 100 * time.Millisecond
 
 // DistributedConfig tunes a distributed execution: the plan's stations are
 // partitioned across nodes that exchange stream items over TCP — the
@@ -37,6 +48,18 @@ type DistributedConfig struct {
 	// logical operators round-robin so replicas stay with their emitter
 	// and collector.
 	Assignment []int
+	// RetryBackoff is the initial pause before redialing a cross-node
+	// connection after a write error; it doubles per attempt, capped at
+	// maxRetryBackoff. Zero or negative selects the default (2ms).
+	RetryBackoff time.Duration
+	// SendDeadline bounds the total retry time for one in-flight frame.
+	// When it expires, the frame's tuples are counted as dropped at the
+	// target operator and the edge keeps accepting traffic (graceful
+	// degradation instead of a dead pipeline). Zero selects the default
+	// (2s); negative disables retry entirely — the first write error
+	// permanently kills the edge and shuts its sender down, the
+	// behaviour before fault tolerance.
+	SendDeadline time.Duration
 }
 
 // AssignByOperator maps stations to nodes so that all stations of a
@@ -93,6 +116,12 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 			return nil, fmt.Errorf("runtime: station %d assigned to invalid node %d", sid, node)
 		}
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.SendDeadline == 0 {
+		cfg.SendDeadline = 2 * time.Second
+	}
 	if binding == nil {
 		binding = &Binding{}
 	}
@@ -105,9 +134,11 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 		return nil, err
 	}
 	d := &distEngine{
-		engine:     eng,
-		assignment: cfg.Assignment,
-		nodes:      cfg.Nodes,
+		engine:       eng,
+		assignment:   cfg.Assignment,
+		nodes:        cfg.Nodes,
+		retryBackoff: cfg.RetryBackoff,
+		sendDeadline: cfg.SendDeadline,
 	}
 	d.sendFn = d.send
 	d.sendManyFn = d.sendMany
@@ -124,8 +155,10 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 // distEngine extends the local engine with the TCP data plane.
 type distEngine struct {
 	*engine
-	assignment []int
-	nodes      int
+	assignment   []int
+	nodes        int
+	retryBackoff time.Duration
+	sendDeadline time.Duration
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -133,31 +166,64 @@ type distEngine struct {
 	// senders maps station ID -> target station ID -> remote outbox.
 	senders map[plan.StationID]map[plan.StationID]*remoteOutbox
 	readers sync.WaitGroup
+
+	// wrote/recvd count tuples in successfully encoded / decoded frames
+	// per cross-node edge (keyed by edgeKey); their difference after
+	// shutdown is the network in-flight loss, folded into
+	// Totals.Abandoned. The maps are fully built before any listener
+	// accepts and are only read afterwards.
+	wrote map[int]*atomic.Uint64
+	recvd map[int]*atomic.Uint64
 }
+
+// edgeKey identifies one cross-node physical edge in the counter maps
+// and toward the fault injector.
+func edgeKey(from, to plan.StationID) int { return int(from)<<16 | int(to) }
 
 // remoteOutbox frames tuples onto one cross-node TCP stream. With batch 1
 // every tuple is its own frame (the per-tuple transport); with a larger
 // batch it accumulates a micro-batch, bounded by the linger so low-rate
 // edges keep flowing. The blocking gob write is what propagates
 // backpressure to the sending station.
+//
+// A write error triggers redial with exponential backoff: the failed
+// frame is re-encoded on the fresh connection (a frame is only counted
+// written after a successful Encode, and an injected partial write can
+// never deliver a decodable frame, so the retry cannot duplicate
+// delivery). Past the per-frame deadline the frame's tuples are counted
+// as shed at the target and the edge stays alive. Accounting invariant:
+// every error return from send means the tuple has already been counted,
+// so callers just stop.
 type remoteOutbox struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	batch  int
-	linger time.Duration
-	buf    []operators.Tuple
-	timer  *time.Timer
-	err    error
+	d            *distEngine
+	from, target plan.StationID
+	addr         string
+	batch        int
+	linger       time.Duration
+	// backoff is the initial redial pause; deadline bounds total retry
+	// time per frame. deadline < 0 selects the legacy sticky-error mode.
+	backoff  time.Duration
+	deadline time.Duration
+	// wrote is the edge's successfully-encoded tuple counter, shared
+	// across reconnects.
+	wrote *atomic.Uint64
+
+	mu    sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	buf   []operators.Tuple
+	timer *time.Timer
+	err   error
 }
 
-// send enqueues one tuple, flushing when the frame is full. The first
-// write error — including one hit by a linger flush — is sticky, so the
-// sending station observes it on its next send and shuts down.
+// send enqueues one tuple, flushing when the frame is full.
 func (o *remoteOutbox) send(t operators.Tuple) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.err != nil {
+		// Dead edge (legacy mode) or shutdown: account the tuple here so
+		// the caller doesn't have to.
+		o.d.abandoned[o.from].Add(1)
 		return o.err
 	}
 	o.buf = append(o.buf, t)
@@ -171,18 +237,83 @@ func (o *remoteOutbox) send(t operators.Tuple) error {
 }
 
 func (o *remoteOutbox) flushLocked() error {
-	if len(o.buf) == 0 {
-		return o.err
-	}
-	err := o.enc.Encode(wire{Tuples: o.buf})
-	o.buf = o.buf[:0]
-	if err != nil && o.err == nil {
-		o.err = err
-	}
 	if o.timer != nil {
 		o.timer.Stop()
 	}
-	return o.err
+	if len(o.buf) == 0 {
+		return o.err
+	}
+	if err := o.enc.Encode(wire{Tuples: o.buf}); err == nil {
+		o.wrote.Add(uint64(len(o.buf)))
+		o.buf = o.buf[:0]
+		return nil
+	}
+	if o.deadline < 0 {
+		// Legacy mode: the first write error permanently kills the edge
+		// and its sending station; the frame never left.
+		o.err = errEdgeDown
+		o.d.abandoned[o.from].Add(uint64(len(o.buf)))
+		o.buf = o.buf[:0]
+		return o.err
+	}
+	return o.retryLocked()
+}
+
+// retryLocked redials the edge with exponential backoff until the failed
+// frame is delivered, the per-frame deadline expires (the frame is
+// counted as shed at the target and the edge stays alive — graceful
+// degradation), or the run shuts down (the frame is abandoned).
+func (o *remoteOutbox) retryLocked() error {
+	start := time.Now()
+	back := o.backoff
+	for {
+		o.conn.Close()
+		if !o.d.sleepBackoff(back) {
+			o.err = errShutdown
+			o.d.abandoned[o.from].Add(uint64(len(o.buf)))
+			o.buf = o.buf[:0]
+			return o.err
+		}
+		if back < maxRetryBackoff {
+			back *= 2
+		}
+		if time.Since(start) >= o.deadline {
+			o.d.emitted[o.from].Add(uint64(len(o.buf)))
+			o.d.dropped[o.target].Add(uint64(len(o.buf)))
+			o.buf = o.buf[:0]
+			return nil
+		}
+		conn, enc, err := o.d.dialEdge(o.from, o.target, o.addr)
+		if err != nil {
+			continue
+		}
+		o.conn, o.enc = conn, enc
+		// The fresh encoder re-sends gob type descriptors, which is
+		// exactly what the receiver's fresh decoder on the new
+		// connection expects.
+		if o.enc.Encode(wire{Tuples: o.buf}) != nil {
+			continue
+		}
+		o.wrote.Add(uint64(len(o.buf)))
+		o.buf = o.buf[:0]
+		return nil
+	}
+}
+
+// abort accounts any frame still buffered at shutdown and kills the edge.
+func (o *remoteOutbox) abort() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.timer != nil {
+		o.timer.Stop()
+	}
+	if n := len(o.buf); n > 0 {
+		o.d.abandoned[o.from].Add(uint64(n))
+		o.buf = nil
+	}
+	if o.err == nil {
+		o.err = errShutdown
+	}
 }
 
 func (o *remoteOutbox) flush() {
@@ -199,9 +330,36 @@ func (o *remoteOutbox) armTimerLocked() {
 	o.timer.Reset(o.linger)
 }
 
+// sleepBackoff pauses between redial attempts; it returns false when the
+// run shut down during the pause.
+func (d *distEngine) sleepBackoff(dur time.Duration) bool {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-d.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 // connect builds listeners per node and dials one stream per cross-node
 // physical edge.
 func (d *distEngine) connect() error {
+	// The per-edge frame counters must exist before any acceptLoop can
+	// hand a connection to a readLoop.
+	d.wrote = make(map[int]*atomic.Uint64)
+	d.recvd = make(map[int]*atomic.Uint64)
+	for i := range d.p.Stations {
+		for _, e := range d.p.Stations[i].Out {
+			if d.assignment[i] != d.assignment[e.To] {
+				k := edgeKey(plan.StationID(i), e.To)
+				d.wrote[k] = &atomic.Uint64{}
+				d.recvd[k] = &atomic.Uint64{}
+			}
+		}
+	}
+
 	addrs := make([]string, d.nodes)
 	for n := 0; n < d.nodes; n++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -220,17 +378,10 @@ func (d *distEngine) connect() error {
 			if d.assignment[from] == d.assignment[e.To] {
 				continue
 			}
-			conn, err := net.Dial("tcp", addrs[d.assignment[e.To]])
+			addr := addrs[d.assignment[e.To]]
+			conn, enc, err := d.dialEdge(from, e.To, addr)
 			if err != nil {
 				return fmt.Errorf("runtime: dial edge %d->%d: %w", from, e.To, err)
-			}
-			tuneConn(conn)
-			d.mu.Lock()
-			d.conns = append(d.conns, conn)
-			d.mu.Unlock()
-			enc := gob.NewEncoder(conn)
-			if err := enc.Encode(handshake{From: from, Target: e.To}); err != nil {
-				return fmt.Errorf("runtime: handshake edge %d->%d: %w", from, e.To, err)
 			}
 			if d.senders[from] == nil {
 				d.senders[from] = make(map[plan.StationID]*remoteOutbox)
@@ -239,15 +390,40 @@ func (d *distEngine) connect() error {
 			if d.cfg.Mailbox == mailbox.Batched {
 				batch = d.cfg.Batch
 			}
-			// The same encoder carries the handshake and the payload so
-			// the byte stream stays aligned with the receiver's single
-			// decoder.
 			d.senders[from][e.To] = &remoteOutbox{
+				d: d, from: from, target: e.To, addr: addr,
 				conn: conn, enc: enc, batch: batch, linger: d.cfg.Linger,
+				backoff: d.retryBackoff, deadline: d.sendDeadline,
+				wrote: d.wrote[edgeKey(from, e.To)],
 			}
 		}
 	}
 	return nil
+}
+
+// dialEdge opens (or re-opens, during retry) the TCP stream for one
+// cross-node edge: dial, tune, optionally wrap with the fault injector,
+// and send the handshake. The same encoder carries the handshake and the
+// payload so the byte stream stays aligned with the receiver's single
+// decoder.
+func (d *distEngine) dialEdge(from, to plan.StationID, addr string) (net.Conn, *gob.Encoder, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuneConn(conn)
+	if d.cfg.Faults != nil {
+		conn = d.cfg.Faults.WrapConn(edgeKey(from, to), conn)
+	}
+	d.mu.Lock()
+	d.conns = append(d.conns, conn)
+	d.mu.Unlock()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(handshake{From: from, Target: to}); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, enc, nil
 }
 
 // tuneConn shrinks the socket buffers so network buffering adds as little
@@ -281,12 +457,21 @@ func (d *distEngine) acceptLoop(ln net.Listener) {
 // the TCP stream.
 func (d *distEngine) readLoop(conn net.Conn) {
 	defer d.readers.Done()
+	// A decode error (including an injected partial frame) abandons the
+	// connection; closing it makes the remote writer fail fast into its
+	// retry path instead of blocking on a half-dead stream.
+	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	var hs handshake
 	if err := dec.Decode(&hs); err != nil {
 		return
 	}
 	if int(hs.Target) < 0 || int(hs.Target) >= len(d.mailboxes) {
+		return
+	}
+	rc := d.recvd[edgeKey(hs.From, hs.Target)]
+	if rc == nil {
+		// Not a planned cross-node edge; refuse the stream.
 		return
 	}
 	// The reader gets its own producer handle on the target mailbox; a
@@ -298,8 +483,13 @@ func (d *distEngine) readLoop(conn net.Conn) {
 		if err := dec.Decode(&w); err != nil {
 			return
 		}
-		for _, t := range w.Tuples {
+		rc.Add(uint64(len(w.Tuples)))
+		for i, t := range w.Tuples {
 			if snd.Send(t, d.done) != mailbox.Sent {
+				// Shutdown mid-frame: the undelivered remainder is
+				// decoded in-flight residue, accounted like mailbox
+				// drain residue.
+				d.drained[hs.Target].Add(uint64(len(w.Tuples) - i))
 				return
 			}
 			// Both ends of the edge are counted here: emission is only
@@ -334,15 +524,18 @@ func (d *distEngine) send(from plan.StationID, edgeIdx int, edge *plan.Edge, t o
 		if ob := outs[edge.To]; ob != nil {
 			select {
 			case <-d.done:
+				d.abandoned[from].Add(1)
 				return false
 			default:
 			}
-			if err := ob.send(t); err != nil {
-				return false
+			if f := d.stFaults[from]; f != nil {
+				f.OnSend()
 			}
-			// Emission and arrival are counted on the receiving node's
-			// read loop, once the item clears the network.
-			return true
+			// Every error return from ob.send has already accounted the
+			// tuple; emission and arrival of delivered tuples are
+			// counted on the receiving node's read loop, once the item
+			// clears the network.
+			return ob.send(t) == nil
 		}
 	}
 	return d.localSend(from, edgeIdx, edge, t)
@@ -356,11 +549,18 @@ func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge,
 		if ob := outs[edge.To]; ob != nil {
 			select {
 			case <-d.done:
+				d.abandoned[from].Add(uint64(len(ts)))
 				return false
 			default:
 			}
-			for _, t := range ts {
-				if err := ob.send(t); err != nil {
+			if f := d.stFaults[from]; f != nil {
+				f.OnSend()
+			}
+			for i := range ts {
+				if ob.send(ts[i]) != nil {
+					// ts[i] was accounted by the outbox; the tail never
+					// went anywhere.
+					d.abandoned[from].Add(uint64(len(ts) - i - 1))
 					return false
 				}
 			}
@@ -393,5 +593,26 @@ func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
 	}
 	d.mu.Unlock()
 	d.wg.Wait()
-	return d.buildMetrics(window, snap1, snap2), nil
+	// Drain-on-shutdown: stations are gone, so tear the transport down
+	// and wait for the readers (they are the last producers into the
+	// mailboxes), account the outbox residue, then collect what is still
+	// queued — in that order, so no producer races the drain.
+	d.shutdownTransport()
+	for _, outs := range d.senders {
+		for _, ob := range outs {
+			ob.abort()
+		}
+	}
+	d.drainMailboxes()
+	m := d.buildMetrics(window, snap1, snap2)
+	// Network in-flight loss: tuples in frames written but never
+	// decoded (severed connections, discarded socket buffers).
+	var loss uint64
+	for k, w := range d.wrote {
+		if wv, rv := w.Load(), d.recvd[k].Load(); wv > rv {
+			loss += wv - rv
+		}
+	}
+	m.Totals.Abandoned += loss
+	return m, nil
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/faultinject"
 	"spinstreams/internal/mailbox"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
@@ -78,6 +79,20 @@ type Config struct {
 	// flushed in batched mode (default mailbox.DefaultLinger), so
 	// low-rate edges don't stall. Ignored in per-tuple mode.
 	Linger time.Duration
+	// MaxRestarts bounds how many times a station whose operator
+	// panicked is restarted with a fresh operator instance. 0 (the
+	// default) disables recovery entirely: a panic crashes the run, the
+	// historical behaviour. N > 0 allows N restarts per station, after
+	// which the station degrades into an accounted discard sink — it
+	// keeps draining its inbox (so upstream backpressure cannot deadlock
+	// on a dead operator and capacity credits keep returning) and counts
+	// every tuple as failed. Negative restarts without bound.
+	MaxRestarts int
+	// Faults, when non-nil, injects that deterministic fault schedule
+	// into the run: per-tuple operator slowdowns and panics, per-send
+	// delays, and — under the distributed engine — connection resets.
+	// Build a fresh injector per run (see internal/faultinject).
+	Faults *faultinject.Injector
 }
 
 // withDefaults fills zero fields and rejects nonsensical configurations
@@ -148,6 +163,49 @@ type Metrics struct {
 	// Stations reports per-station consumption and emission rates
 	// (replicas, emitters and collectors included).
 	Stations []StationMetrics
+	// Restarts is the total number of panic-recovery restarts across all
+	// stations over the whole run (see Config.MaxRestarts).
+	Restarts uint64
+	// Degraded is the number of stations that exhausted their restart
+	// budget and finished the run as accounted discard sinks.
+	Degraded int
+	// Totals is the whole-run tuple accounting (not windowed like the
+	// rates above); see Totals for the conservation identity it obeys.
+	Totals Totals
+}
+
+// Totals is the exact lifetime tuple accounting of a run, maintained so
+// that under any fault schedule every generated tuple lands in exactly
+// one bucket. For unit-gain topologies (every operator forwards each
+// input exactly once, e.g. identity pipelines) the conservation identity
+//
+//	Generated == Delivered + Shed + Failed + Drained + Abandoned
+//
+// holds exactly — the chaos suite asserts it under injected faults.
+// Operators with non-unit selectivity break the identity by design
+// (they consume or multiply tuples inside the operator).
+type Totals struct {
+	// Generated counts tuples produced by source stations.
+	Generated uint64
+	// Delivered counts results that left the system through a sink.
+	Delivered uint64
+	// Shed counts tuples discarded at admission by a SendTimeout, plus —
+	// under the distributed engine — tuples in frames dropped after the
+	// send deadline expired (graceful degradation of a dead edge).
+	Shed uint64
+	// Failed counts tuples lost to operator panics: the tuple in hand
+	// when the panic fired, the unprocessed remainder of its input
+	// batch, and everything consumed by a degraded station.
+	Failed uint64
+	// Drained counts tuples still queued in mailboxes (or undecoded
+	// in-flight frame remainders) when the run stopped, collected by the
+	// drain-on-shutdown pass.
+	Drained uint64
+	// Abandoned counts outputs of successfully processed tuples that
+	// shutdown (or a dead distributed edge) kept from being admitted
+	// downstream: aborted sends, residual output buffers, and network
+	// in-flight loss (frames written but never decoded).
+	Abandoned uint64
 }
 
 // StationMetrics is one physical station's measured behaviour.
@@ -160,6 +218,11 @@ type StationMetrics struct {
 	Consumed, Emitted uint64
 	// ConsumeRate and EmitRate are the corresponding rates in items/s.
 	ConsumeRate, EmitRate float64
+	// Restarts counts this station's panic-recovery restarts (whole run).
+	Restarts uint64
+	// Degraded reports whether the station exhausted its restart budget
+	// and spent the rest of the run discarding (and accounting) input.
+	Degraded bool
 }
 
 // routed couples an output tuple with an optional explicit logical
@@ -197,6 +260,18 @@ type engine struct {
 	emitted  []atomic.Uint64
 	arrived  []atomic.Uint64
 	dropped  []atomic.Uint64
+	// Failure accounting (see Totals): failed tuples lost to panics,
+	// abandoned outputs never admitted downstream, drained shutdown
+	// residue, plus restart/degradation bookkeeping.
+	failed    []atomic.Uint64
+	abandoned []atomic.Uint64
+	drained   []atomic.Uint64
+	restarts  []atomic.Uint64
+	degraded  []atomic.Bool
+	// stFaults[i] is station i's injected fault stream (nil entries when
+	// no injector is configured); fetched once so the per-tuple hot path
+	// is a nil check.
+	stFaults []*faultinject.StationFaults
 }
 
 // newEngine allocates the shared engine state.
@@ -212,6 +287,17 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 		emitted:   make([]atomic.Uint64, len(p.Stations)),
 		arrived:   make([]atomic.Uint64, len(p.Stations)),
 		dropped:   make([]atomic.Uint64, len(p.Stations)),
+		failed:    make([]atomic.Uint64, len(p.Stations)),
+		abandoned: make([]atomic.Uint64, len(p.Stations)),
+		drained:   make([]atomic.Uint64, len(p.Stations)),
+		restarts:  make([]atomic.Uint64, len(p.Stations)),
+		degraded:  make([]atomic.Bool, len(p.Stations)),
+		stFaults:  make([]*faultinject.StationFaults, len(p.Stations)),
+	}
+	if cfg.Faults != nil {
+		for i := range e.stFaults {
+			e.stFaults[i] = cfg.Faults.Station(i)
+		}
 	}
 	for i := range e.mailboxes {
 		m, err := mailbox.New[operators.Tuple](mailbox.Config{
@@ -243,6 +329,9 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 // timeout can only reject the item being admitted: tuples a mailbox has
 // already accepted are never dropped, in either transport mode.
 func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool {
+	if f := e.stFaults[from]; f != nil {
+		f.OnSend()
+	}
 	switch e.senders[from][edgeIdx].Send(t, e.done) {
 	case mailbox.Sent:
 		e.emitted[from].Add(1)
@@ -252,7 +341,8 @@ func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t 
 		e.emitted[from].Add(1)
 		e.dropped[edge.To].Add(1)
 		return true
-	default: // mailbox.Closed: engine shutdown
+	default: // mailbox.Closed: engine shutdown; the tuple was never admitted.
+		e.abandoned[from].Add(1)
 		return false
 	}
 }
@@ -261,6 +351,9 @@ func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t 
 // semantics match per-tuple sends exactly: every admitted tuple counts as
 // emitted and arrived, every shed tuple as emitted and dropped.
 func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool {
+	if f := e.stFaults[from]; f != nil {
+		f.OnSend()
+	}
 	sent, dropped, ok := e.senders[from][edgeIdx].SendMany(ts, e.done)
 	if n := uint64(sent + dropped); n > 0 {
 		e.emitted[from].Add(n)
@@ -268,6 +361,11 @@ func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge
 		if dropped > 0 {
 			e.dropped[edge.To].Add(uint64(dropped))
 		}
+	}
+	if !ok {
+		// Shutdown aborted the delivery part-way: the tail was never
+		// admitted anywhere.
+		e.abandoned[from].Add(uint64(len(ts) - sent - dropped))
 	}
 	return ok
 }
@@ -316,7 +414,22 @@ func (e *engine) execute(ctx context.Context) (*Metrics, error) {
 	window := time.Since(start).Seconds()
 	close(e.done)
 	e.wg.Wait()
+	e.drainMailboxes()
 	return e.buildMetrics(window, snap1, snap2), nil
+}
+
+// drainMailboxes collects every tuple still queued after all stations
+// exited, so shutdown leaves no unaccounted in-flight item and every
+// capacity credit returns to its mailbox. Station goroutines flush their
+// partial sender batches on exit (flushStationSenders), which
+// happens-before wg.Wait, so by the time this runs all surviving tuples
+// sit in mailboxes.
+func (e *engine) drainMailboxes() {
+	for i := range e.mailboxes {
+		if n := e.mailboxes[i].Drain(); n > 0 {
+			e.drained[i].Add(uint64(n))
+		}
+	}
 }
 
 // counterSnapshot is one point-in-time view of all station counters.
@@ -363,6 +476,24 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 			Emitted:     emitted,
 			ConsumeRate: float64(consumed) / window,
 			EmitRate:    float64(emitted) / window,
+			Restarts:    e.restarts[i].Load(),
+			Degraded:    e.degraded[i].Load(),
+		}
+		m.Restarts += m.Stations[i].Restarts
+		if m.Stations[i].Degraded {
+			m.Degraded++
+		}
+		// Lifetime totals (not windowed): see the Totals doc for the
+		// bucket definitions and the conservation identity.
+		st := &p.Stations[i]
+		m.Totals.Shed += e.dropped[i].Load()
+		m.Totals.Failed += e.failed[i].Load()
+		m.Totals.Abandoned += e.abandoned[i].Load()
+		m.Totals.Drained += e.drained[i].Load()
+		if st.Role == plan.RoleSource {
+			m.Totals.Generated += e.consumed[i].Load()
+		} else if len(st.Out) == 0 {
+			m.Totals.Delivered += e.emitted[i].Load()
 		}
 	}
 	for op := range p.WorkersOf {
@@ -393,26 +524,93 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
-// runStation is the actor loop.
+// runStation is the actor goroutine. The operator body runs in epochs: a
+// clean epoch ends at shutdown; a panicking epoch (an operator bug or an
+// injected fault) is recovered when Config.MaxRestarts enables recovery,
+// and the station restarts with a freshly bound operator instance until
+// its budget is spent, after which it degrades into an accounted discard
+// sink (runDegraded).
 func (e *engine) runStation(st *plan.Station, seed uint64) {
 	defer e.wg.Done()
+	// Drain-on-shutdown: hand partial output micro-batches to their
+	// target mailboxes on every exit path — each buffered tuple already
+	// holds a capacity credit, so the flush cannot block — where the
+	// engine's final drain pass accounts for them.
+	defer e.flushStationSenders(st.ID)
 	rng := stats.NewRNG(seed)
-	rr := 0
-	outs := make([]routed, 0, 8)
-
-	exec, selfPaced := e.binding.executor(st, e.cfg)
 	if st.Role == plan.RoleSource {
 		e.runSource(st, rng)
 		return
 	}
+	for {
+		if e.stationEpoch(st, rng) {
+			return
+		}
+		if max := e.cfg.MaxRestarts; max >= 0 && e.restarts[st.ID].Load() >= uint64(max) {
+			e.degraded[st.ID].Store(true)
+			e.runDegraded(st)
+			return
+		}
+		e.restarts[st.ID].Add(1)
+	}
+}
+
+// flushStationSenders pushes the station's partial output batches into
+// their target mailboxes and stops the linger timers. Buffered items
+// hold credits, so this never blocks.
+func (e *engine) flushStationSenders(id plan.StationID) {
+	for _, s := range e.senders[id] {
+		s.Flush()
+	}
+}
+
+// runDegraded drains the station's inbox after its restart budget is
+// exhausted, so upstream backpressure cannot deadlock on a dead
+// operator: every tuple is still consumed, counted as failed, and its
+// capacity credit returned.
+func (e *engine) runDegraded(st *plan.Station) {
+	inbox := e.mailboxes[st.ID]
+	for {
+		if _, ok := inbox.Recv(e.done); !ok {
+			return
+		}
+		e.consumed[st.ID].Add(1)
+		e.failed[st.ID].Add(1)
+	}
+}
+
+// stationEpoch runs the operator until shutdown (true) or a recovered
+// panic (false). Every epoch binds a fresh operator instance, so a
+// restart cannot resurrect state the panic may have corrupted.
+func (e *engine) stationEpoch(st *plan.Station, rng *stats.RNG) bool {
+	exec, selfPaced := e.binding.executor(st, e.cfg)
 	pace := newPacer(st.ServiceTime)
 	// Without padding the clock read per item is pure dataplane overhead
 	// (the pacer never runs); skip it so raw throughput measures the
 	// transport, not the vDSO.
 	usePace := !e.cfg.NoServicePadding && !selfPaced
 	if e.cfg.Mailbox == mailbox.Batched {
-		e.runStationBatched(st, rng, exec, usePace, pace)
-		return
+		return e.stationEpochBatched(st, rng, exec, usePace, pace)
+	}
+	return e.stationEpochTuple(st, rng, exec, usePace, pace)
+}
+
+// stationEpochTuple is one per-tuple-transport epoch of the actor loop.
+func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) (clean bool) {
+	rr := 0
+	outs := make([]routed, 0, 8)
+	fl := e.stFaults[st.ID]
+	inHand := 0
+	if e.cfg.MaxRestarts != 0 {
+		defer func() {
+			if r := recover(); r != nil {
+				// The tuple in hand left the mailbox but its processing
+				// died with the panic; its partial outputs die with it.
+				e.consumed[st.ID].Add(uint64(inHand))
+				e.failed[st.ID].Add(uint64(inHand))
+				clean = false
+			}
+		}()
 	}
 	if exec == nil {
 		exec = forward
@@ -420,11 +618,15 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 	for {
 		tup, ok := e.mailboxes[st.ID].Recv(e.done)
 		if !ok {
-			return
+			return true
 		}
+		inHand = 1
 		var started time.Time
 		if usePace {
 			started = time.Now()
+		}
+		if fl != nil {
+			fl.OnProcess()
 		}
 		outs = outs[:0]
 		exec(tup, &outs)
@@ -432,6 +634,7 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 			pace.wait(started)
 		}
 		e.consumed[st.ID].Add(1)
+		inHand = 0
 		if len(st.Out) == 0 {
 			// Sink: results leave the system.
 			e.emitted[st.ID].Add(uint64(len(outs)))
@@ -443,64 +646,102 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 			continue
 		}
 		if !e.flush(st, outs, rng, &rr) {
-			return
+			return true
 		}
 	}
 }
 
-// runStationBatched is the actor loop on the batched transport: it drains
-// whole micro-batches from the inbox, routes outputs into per-edge
-// buffers, and delivers them in bulk. Operator execution, pacing, routing
-// decisions, and shedding all remain per-tuple; only the queue
-// synchronization and counter updates are amortized over batches. Output
-// buffers never persist across input batches, so the engine holds no
-// tuples outside a mailbox while idle — the upstream linger chain bounds
-// end-to-end latency exactly as in per-tuple mode.
-func (e *engine) runStationBatched(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) {
+// stationEpochBatched is one batched-transport epoch of the actor loop:
+// it drains whole micro-batches from the inbox, routes outputs into
+// per-edge buffers, and delivers them in bulk. Operator execution,
+// pacing, routing decisions, and shedding all remain per-tuple; only the
+// queue synchronization and counter updates are amortized over batches.
+// Output buffers never persist across input batches, so the engine holds
+// no tuples outside a mailbox while idle — the upstream linger chain
+// bounds end-to-end latency exactly as in per-tuple mode.
+func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) (clean bool) {
 	rr := 0
 	outs := make([]routed, 0, 8)
 	inbox := e.mailboxes[st.ID]
 	sink := len(st.Out) == 0
+	fl := e.stFaults[st.ID]
 	outBufs := make([][]operators.Tuple, len(st.Out))
 	for i := range outBufs {
 		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
 	}
+	// abandonBufs counts (and clears) tuples stuck in the per-edge
+	// output buffers when the epoch aborts: their inputs were processed,
+	// but the outputs will never be admitted downstream.
+	abandonBufs := func(extra int) {
+		n := extra
+		for i := range outBufs {
+			n += len(outBufs[i])
+			outBufs[i] = outBufs[i][:0]
+		}
+		if n > 0 {
+			e.abandoned[st.ID].Add(uint64(n))
+		}
+	}
+	var batch []operators.Tuple
+	k := 0 // index of the tuple in hand within batch
+	if e.cfg.MaxRestarts != 0 {
+		defer func() {
+			if r := recover(); r != nil {
+				// batch[:k] processed fine (their unsent outputs are
+				// abandoned below); batch[k:] — the tuple in hand plus
+				// the unprocessed tail — died with the panic. The in-hand
+				// tuple's partial outputs in outs die with it.
+				e.consumed[st.ID].Add(uint64(len(batch)))
+				e.failed[st.ID].Add(uint64(len(batch) - k))
+				abandonBufs(0)
+				clean = false
+			}
+		}()
+	}
 	// Trivial pass-through on a single edge (the common pipeline shape):
 	// forward the input batch wholesale — no closure call, no routed
 	// slice, no per-tuple routing decision. Pacing still needs the
-	// per-tuple loop, so the wholesale path requires usePace off.
-	forwardWhole := exec == nil && len(st.Out) == 1 && !usePace
+	// per-tuple loop, and injected faults must observe every tuple for
+	// the schedule to stay deterministic, so both disable it.
+	forwardWhole := exec == nil && len(st.Out) == 1 && !usePace && fl == nil
 	if exec == nil {
 		exec = forward
 	}
 	for {
+		batch, k = nil, 0
 		if inbox.Queued() == 0 {
 			// About to go idle: hand partial output batches downstream
 			// so a quiet edge never strands tuples behind this
 			// station's empty inbox.
-			for _, s := range e.senders[st.ID] {
-				s.Flush()
-			}
+			e.flushStationSenders(st.ID)
 		}
-		batch, ok := inbox.RecvBatch(e.done)
+		var ok bool
+		batch, ok = inbox.RecvBatch(e.done)
 		if !ok {
-			return
+			return true
 		}
 		if forwardWhole {
 			for i := range batch {
 				batch[i].Port = st.Out[0].Port
 			}
-			if !e.sendManyFn(st.ID, 0, &st.Out[0], batch) {
-				return
-			}
+			ok := e.sendManyFn(st.ID, 0, &st.Out[0], batch)
 			e.consumed[st.ID].Add(uint64(len(batch)))
+			if !ok {
+				// Shutdown mid-delivery; the unsent tail was accounted
+				// as abandoned by the send path.
+				return true
+			}
 			inbox.Recycle(batch)
 			continue
 		}
-		for _, tup := range batch {
+		for k = 0; k < len(batch); k++ {
+			tup := batch[k]
 			var started time.Time
 			if usePace {
 				started = time.Now()
+			}
+			if fl != nil {
+				fl.OnProcess()
 			}
 			outs = outs[:0]
 			exec(tup, &outs)
@@ -517,17 +758,26 @@ func (e *engine) runStationBatched(st *plan.Station, rng *stats.RNG, exec func(o
 				}
 				continue
 			}
-			for _, o := range outs {
-				idx := e.pickEdge(st, o, rng, &rr)
+			for oi := 0; oi < len(outs); oi++ {
+				idx := e.pickEdge(st, outs[oi], rng, &rr)
 				if idx < 0 {
 					continue
 				}
-				t := o.tuple
+				t := outs[oi].tuple
 				t.Port = st.Out[idx].Port
 				outBufs[idx] = append(outBufs[idx], t)
 				if len(outBufs[idx]) >= e.cfg.Batch {
 					if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
-						return
+						// Shutdown mid-batch: batch[:k+1] were processed
+						// (stuck outputs become abandoned work), the
+						// unprocessed tail becomes drain residue. The
+						// failing buffer was already accounted by the
+						// send path.
+						outBufs[idx] = outBufs[idx][:0]
+						e.consumed[st.ID].Add(uint64(k + 1))
+						e.drained[st.ID].Add(uint64(len(batch) - k - 1))
+						abandonBufs(len(outs) - oi - 1)
+						return true
 					}
 					outBufs[idx] = outBufs[idx][:0]
 				}
@@ -535,12 +785,15 @@ func (e *engine) runStationBatched(st *plan.Station, rng *stats.RNG, exec func(o
 		}
 		e.consumed[st.ID].Add(uint64(len(batch)))
 		inbox.Recycle(batch)
+		batch, k = nil, 0
 		for idx := range outBufs {
 			if len(outBufs[idx]) == 0 {
 				continue
 			}
 			if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
-				return
+				outBufs[idx] = outBufs[idx][:0]
+				abandonBufs(0)
+				return true
 			}
 			outBufs[idx] = outBufs[idx][:0]
 		}
@@ -592,12 +845,28 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 	}
 	buffered := 0
 	var firstBuffered time.Time
+	// abandonBufs accounts generated tuples stuck in the output buffers
+	// when shutdown aborts the source.
+	abandonBufs := func() {
+		n := 0
+		for i := range outBufs {
+			n += len(outBufs[i])
+			outBufs[i] = outBufs[i][:0]
+		}
+		if n > 0 {
+			e.abandoned[st.ID].Add(uint64(n))
+		}
+	}
 	flushAll := func() bool {
 		for idx := range outBufs {
 			if len(outBufs[idx]) == 0 {
 				continue
 			}
 			if !e.sendManyFn(st.ID, idx, &st.Out[idx], outBufs[idx]) {
+				// The failing buffer's tail was accounted by the send
+				// path; the remaining edges' buffers are abandoned here.
+				outBufs[idx] = outBufs[idx][:0]
+				abandonBufs()
 				return false
 			}
 			outBufs[idx] = outBufs[idx][:0]
@@ -608,6 +877,7 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 	for {
 		select {
 		case <-e.done:
+			abandonBufs()
 			return
 		default:
 		}
@@ -642,15 +912,18 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 // flush delivers outputs downstream; a full mailbox blocks (BAS). It
 // returns false when the engine is shutting down.
 func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int) bool {
-	for _, o := range outs {
-		idx := e.pickEdge(st, o, rng, rr)
+	for i := range outs {
+		idx := e.pickEdge(st, outs[i], rng, rr)
 		if idx < 0 {
 			continue
 		}
 		edge := &st.Out[idx]
-		t := o.tuple
+		t := outs[i].tuple
 		t.Port = edge.Port
 		if !e.sendFn(st.ID, idx, edge, t) {
+			// The failing tuple was accounted by sendFn; the rest of
+			// this output set never reached a mailbox.
+			e.abandoned[st.ID].Add(uint64(len(outs) - i - 1))
 			return false
 		}
 	}

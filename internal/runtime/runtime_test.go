@@ -446,9 +446,17 @@ func TestConfigRejectsNonsense(t *testing.T) {
 		if _, err := cfg.withDefaults(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
-		// The same rejection must reach the public entry point.
-		if _, err := RunTopology(context.Background(), pipeline(t, 0.001, 0.001), nil, nil, cfg); err == nil {
-			t.Errorf("%s: Run accepted", name)
+		// The same rejection must reach every public entry point.
+		topo := pipeline(t, 0.001, 0.001)
+		if _, err := RunTopology(context.Background(), topo, nil, nil, cfg); err == nil {
+			t.Errorf("%s: RunTopology accepted", name)
+		}
+		p, err := plan.Build(topo, plan.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunDistributed(context.Background(), p, nil, DistributedConfig{Config: cfg}); err == nil {
+			t.Errorf("%s: RunDistributed accepted", name)
 		}
 	}
 	// Zero values still take defaults.

@@ -2,6 +2,8 @@ package xmlio
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -10,6 +12,24 @@ import (
 // never panic, and anything it accepts must round-trip through Write/Read
 // to an equally valid topology.
 func FuzzRead(f *testing.F) {
+	// Seed with every real topology shipped in testdata/, so the fuzzer
+	// starts from documents that exercise the full schema (selectivities,
+	// probabilities, retry loops) rather than only the inline minimal
+	// cases below.
+	docs, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.xml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(docs) == 0 {
+		f.Fatal("no testdata/*.xml corpus found")
+	}
+	for _, path := range docs {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(raw))
+	}
 	f.Add(sampleXML)
 	f.Add(`<topology name="t">
   <operator name="a" type="source" serviceTime="1ms"><output to="b" probability="1"/></operator>

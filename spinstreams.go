@@ -44,6 +44,7 @@ import (
 	"io"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/faultinject"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/qsim"
@@ -82,6 +83,15 @@ type (
 	RunConfig = runtime.Config
 	// RunMetrics is a live execution outcome.
 	RunMetrics = runtime.Metrics
+	// RunTotals is the lifetime tuple accounting of a run; on unit-gain
+	// topologies Generated == Delivered + Shed + Failed + Drained +
+	// Abandoned exactly.
+	RunTotals = runtime.Totals
+	// FaultInjector deterministically injects faults into a run via
+	// RunConfig.Faults; see internal/faultinject.
+	FaultInjector = faultinject.Injector
+	// FaultInjectorConfig selects the fault schedule.
+	FaultInjectorConfig = faultinject.Config
 	// Binding supplies operator implementations to the runtime.
 	Binding = runtime.Binding
 	// Tuple is the unit of data flowing through executed topologies.
@@ -189,6 +199,10 @@ func Execute(ctx context.Context, t *Topology, replicas []int, binding *Binding,
 
 // DistributedConfig tunes ExecuteDistributed.
 type DistributedConfig = runtime.DistributedConfig
+
+// NewFaultInjector builds a deterministic fault injector for
+// RunConfig.Faults. Injectors are single-use: build a fresh one per run.
+func NewFaultInjector(cfg FaultInjectorConfig) *FaultInjector { return faultinject.New(cfg) }
 
 // ExecuteDistributed partitions the topology's physical plan across nodes
 // that exchange items over TCP (the Akka-Remoting analog the paper lists

@@ -88,6 +88,44 @@ func TestFacadeExecute(t *testing.T) {
 	}
 }
 
+// TestFacadeExecuteWithFaults drives the fault-injection and graceful-
+// degradation surface through the public facade: injected panics with
+// unlimited restarts must leave the run alive and the tuple accounting
+// exactly conserved.
+func TestFacadeExecuteWithFaults(t *testing.T) {
+	topo := spinstreams.NewTopology()
+	src := topo.MustAddOperator(spinstreams.Operator{Name: "src", Kind: spinstreams.KindSource, ServiceTime: 1e-3})
+	mid := topo.MustAddOperator(spinstreams.Operator{Name: "mid", Kind: spinstreams.KindStateless, ServiceTime: 2e-4})
+	sink := topo.MustAddOperator(spinstreams.Operator{Name: "sink", Kind: spinstreams.KindSink, ServiceTime: 1e-4})
+	topo.MustConnect(src, mid, 1)
+	topo.MustConnect(mid, sink, 1)
+	inj := spinstreams.NewFaultInjector(spinstreams.FaultInjectorConfig{
+		Seed:      5,
+		PanicProb: 0.01,
+	})
+	m, err := spinstreams.Execute(context.Background(), topo, nil, nil, spinstreams.RunConfig{
+		Duration:    800 * time.Millisecond,
+		Warmup:      200 * time.Millisecond,
+		MaxRestarts: -1,
+		Faults:      inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := m.Totals
+	if out := tt.Delivered + tt.Shed + tt.Failed + tt.Drained + tt.Abandoned; tt.Generated != out {
+		t.Fatalf("conservation violated: generated %d, accounted %d (%+v)", tt.Generated, out, tt)
+	}
+	if c := inj.Counts(); c.Panics == 0 {
+		t.Fatal("fault schedule injected no panics")
+	} else if m.Restarts == 0 {
+		t.Fatalf("%d panics but no restarts", c.Panics)
+	}
+	if tt.Delivered == 0 {
+		t.Fatal("nothing delivered despite unlimited restarts")
+	}
+}
+
 func TestFacadeOperatorCatalog(t *testing.T) {
 	names := spinstreams.OperatorCatalog()
 	if len(names) != 20 {
