@@ -21,6 +21,7 @@ import (
 	"spinstreams/internal/experiments"
 	"spinstreams/internal/keypart"
 	"spinstreams/internal/mailbox"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/qsim"
 	"spinstreams/internal/randtopo"
@@ -226,9 +227,12 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 // 4-operator pipeline with service padding disabled, so tuples/sec is
 // bounded by per-item synchronization overhead rather than operator
 // service time. The per-tuple and batched mailbox transports run the same
-// plan; the reported tuples/s are the source departure rate. Set
-// SS_BENCH_JSON=<path> to also record the comparison as a JSON bench
-// trajectory point (CI uploads it as BENCH_runtime.json).
+// plan; the reported tuples/s are the source departure rate. The *-obs
+// variants bind a metrics registry (the counters always run — the
+// variants add the sampled histogram probes), pinning the documented
+// <5% observability overhead. Set SS_BENCH_JSON=<path> to also record
+// the comparison as a JSON bench trajectory point (CI uploads it as
+// BENCH_runtime.json and gates regressions with cmd/benchgate).
 func BenchmarkRuntimeRawThroughput(b *testing.B) {
 	topo := core.NewTopology()
 	var prev core.OpID
@@ -247,7 +251,7 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 		}
 		prev = id
 	}
-	run := func(b *testing.B, mode mailbox.Mode) float64 {
+	run := func(b *testing.B, mode mailbox.Mode, withObs bool) float64 {
 		var tps float64
 		for i := 0; i < b.N; i++ {
 			// A lean generator (one payload field, tiny key domain) keeps
@@ -259,7 +263,7 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			m, err := runtime.RunTopology(context.Background(), topo, nil, nil, runtime.Config{
+			cfg := runtime.Config{
 				Seed:             uint64(i + 1),
 				Duration:         800 * time.Millisecond,
 				Warmup:           200 * time.Millisecond,
@@ -268,7 +272,11 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 				Mailbox:          mode,
 				Batch:            128,
 				Generator:        gen,
-			})
+			}
+			if withObs {
+				cfg.Obs = obs.New()
+			}
+			m, err := runtime.RunTopology(context.Background(), topo, nil, nil, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -278,8 +286,10 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 		return tps
 	}
 	results := map[string]float64{}
-	b.Run("per-tuple", func(b *testing.B) { results["per-tuple"] = run(b, mailbox.PerTuple) })
-	b.Run("batched", func(b *testing.B) { results["batched"] = run(b, mailbox.Batched) })
+	b.Run("per-tuple", func(b *testing.B) { results["per-tuple"] = run(b, mailbox.PerTuple, false) })
+	b.Run("batched", func(b *testing.B) { results["batched"] = run(b, mailbox.Batched, false) })
+	b.Run("per-tuple-obs", func(b *testing.B) { results["per-tuple-obs"] = run(b, mailbox.PerTuple, true) })
+	b.Run("batched-obs", func(b *testing.B) { results["batched-obs"] = run(b, mailbox.Batched, true) })
 	if path := os.Getenv("SS_BENCH_JSON"); path != "" && results["per-tuple"] > 0 {
 		point := struct {
 			Benchmark string             `json:"benchmark"`
@@ -287,12 +297,17 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			Padding   bool               `json:"service_padding"`
 			TuplesPer map[string]float64 `json:"tuples_per_sec"`
 			Speedup   float64            `json:"batched_speedup"`
+			ObsOver   map[string]float64 `json:"obs_overhead"`
 		}{
 			Benchmark: "BenchmarkRuntimeRawThroughput",
 			Pipeline:  topo.Len(),
 			Padding:   false,
 			TuplesPer: results,
 			Speedup:   results["batched"] / results["per-tuple"],
+			ObsOver: map[string]float64{
+				"per-tuple": 1 - results["per-tuple-obs"]/results["per-tuple"],
+				"batched":   1 - results["batched-obs"]/results["batched"],
+			},
 		}
 		data, err := json.MarshalIndent(point, "", "  ")
 		if err != nil {

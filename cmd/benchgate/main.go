@@ -1,0 +1,125 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// freshly measured BenchmarkRuntimeRawThroughput record (written by the
+// benchmark under SS_BENCH_JSON) against the committed baseline and fails
+// when the batched dataplane regresses beyond the allowed fraction.
+//
+// The gate is deliberately one-sided and coarse: CI machines are noisy,
+// so only a large sustained drop on the headline transport fails the
+// build. Other series (per-tuple, the *-obs variants) and the measured
+// observability overhead are reported for the log but never fail the
+// gate on their own — overhead has a dedicated threshold flag that can be
+// enabled on quiet hardware.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -baseline BENCH_runtime.json -candidate BENCH_candidate.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record mirrors the JSON written by BenchmarkRuntimeRawThroughput. Older
+// baselines may lack the obs fields; the gate treats them as absent
+// rather than zero.
+type record struct {
+	Benchmark string             `json:"benchmark"`
+	TuplesPer map[string]float64 `json:"tuples_per_sec"`
+	ObsOver   map[string]float64 `json:"obs_overhead"`
+}
+
+func load(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.TuplesPer) == 0 {
+		return nil, fmt.Errorf("%s: no tuples_per_sec series", path)
+	}
+	return &r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_runtime.json", "committed baseline record")
+	candidatePath := flag.String("candidate", "", "freshly measured record (required)")
+	maxRegression := flag.Float64("max-regression", 0.20, "max allowed fractional drop in batched throughput")
+	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if candidate obs_overhead exceeds this fraction (0 disables)")
+	flag.Parse()
+
+	if *candidatePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: candidate: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Report every series both records share, sorted for stable logs.
+	keys := make([]string, 0, len(base.TuplesPer))
+	for k := range base.TuplesPer {
+		if _, ok := cand.TuplesPer[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, c := base.TuplesPer[k], cand.TuplesPer[k]
+		change := 0.0
+		if b > 0 {
+			change = c/b - 1
+		}
+		fmt.Printf("%-14s baseline %12.0f t/s  candidate %12.0f t/s  %+6.1f%%\n", k, b, c, change*100)
+	}
+	for _, k := range []string{"per-tuple", "batched"} {
+		if ov, ok := cand.ObsOver[k]; ok {
+			fmt.Printf("%-14s obs overhead %5.1f%%\n", k, ov*100)
+		}
+	}
+
+	failed := false
+	// The gate proper: the batched transport is the dataplane headline
+	// (PR 1's ~7x speedup); a large drop there is what the gate exists
+	// to catch.
+	b, okB := base.TuplesPer["batched"]
+	c, okC := cand.TuplesPer["batched"]
+	switch {
+	case !okB || !okC:
+		fmt.Fprintln(os.Stderr, "benchgate: batched series missing from baseline or candidate")
+		failed = true
+	case b <= 0:
+		fmt.Fprintln(os.Stderr, "benchgate: baseline batched throughput is not positive")
+		failed = true
+	case c < b*(1-*maxRegression):
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL batched throughput %.0f t/s is %.1f%% below baseline %.0f t/s (limit %.0f%%)\n",
+			c, (1-c/b)*100, b, *maxRegression*100)
+		failed = true
+	}
+	if *maxObsOverhead > 0 {
+		for k, ov := range cand.ObsOver {
+			if ov > *maxObsOverhead {
+				fmt.Fprintf(os.Stderr, "benchgate: FAIL %s obs overhead %.1f%% exceeds %.1f%%\n",
+					k, ov*100, *maxObsOverhead*100)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

@@ -27,6 +27,7 @@ import (
 	"spinstreams/internal/core"
 	"spinstreams/internal/dot"
 	mbox "spinstreams/internal/mailbox"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/profiler"
@@ -456,6 +457,8 @@ func cmdRun(args []string) error {
 	maxRestarts := fs.Int("max-restarts", 0, "restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial redial backoff for failed cross-node sends with -nodes > 1 (0 = default 2ms)")
 	sendDeadline := fs.Duration("send-deadline", 0, "per-frame retry deadline for cross-node sends with -nodes > 1 (0 = default 2s, <0 = fail fast)")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /snapshot JSON, /debug/vars expvar)")
+	drift := fs.Bool("drift", false, "after the run, compare the cost model's predictions against the measured rates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -509,6 +512,19 @@ func cmdRun(args []string) error {
 		Linger:      *linger,
 		MaxRestarts: *maxRestarts,
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" || *drift {
+		reg = obs.New()
+		runCfg.Obs = reg
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("run: metrics server: %w", err)
+		}
+		defer shutdown()
+		fmt.Printf("metrics: http://%s/metrics\n", bound)
+	}
 	var m *runtime.Metrics
 	if *nodes > 1 {
 		p, err := plan.Build(t, plan.Options{Replicas: replicas})
@@ -538,6 +554,13 @@ func cmdRun(args []string) error {
 	for op, d := range m.Departure {
 		fmt.Printf("  %-28s departure %10.1f items/s (arrival %10.1f)\n",
 			t.Op(core.OpID(op)).Name, d, m.Arrival[op])
+	}
+	if *drift {
+		rep, err := obs.Drift(t, replicas, reg)
+		if err != nil {
+			return fmt.Errorf("run: drift: %w", err)
+		}
+		fmt.Print(rep.String())
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	ssbench -exp fig7               # one experiment: fig7 fig8 fig9 fig10
 //	                                  table1 table2 keypart buffers latency
 //	ssbench -exp fig7live           # accuracy against the live goroutine runtime
+//	ssbench -exp drift              # predict→optimize→run→verify walkthrough (paper example)
 //	ssbench -quick                  # smaller testbed, shorter horizon
 //	ssbench -csv out/               # also export each data series as CSV
 package main
@@ -35,7 +36,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live (live runs only with -exp fig7live)")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift (live runs only with -exp fig7live / -exp drift)")
 	seed := flag.Uint64("seed", 42, "testbed seed")
 	topologies := flag.Int("topologies", 50, "testbed size")
 	horizon := flag.Float64("horizon", 40, "simulated seconds per measurement")
@@ -47,6 +48,7 @@ func run() error {
 	liveBatch := flag.Int("batch", 0, "fig7live micro-batch size in batch mode (0 = runtime default)")
 	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
 	liveRestarts := flag.Int("max-restarts", 0, "fig7live: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
+	driftTable := flag.Int("drift-table", 2, "drift: paper-example service-time variant (1 or 2)")
 	flag.Parse()
 	liveTransport, err := mailbox.ParseMode(*liveMailbox)
 	if err != nil {
@@ -157,6 +159,22 @@ func run() error {
 		case "fig7live":
 			res, err := experiments.Fig7Live(context.Background(), setup, experiments.LiveOptions{
 				Topologies:  *liveTopologies,
+				Duration:    *liveDuration,
+				Transport:   liveTransport,
+				Batch:       *liveBatch,
+				Linger:      *liveLinger,
+				MaxRestarts: *liveRestarts,
+			})
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "drift":
+			variant := core.PaperExampleTable2
+			if *driftTable == 1 {
+				variant = core.PaperExampleTable1
+			}
+			res, err := experiments.DriftDemo(context.Background(), variant, experiments.LiveOptions{
 				Duration:    *liveDuration,
 				Transport:   liveTransport,
 				Batch:       *liveBatch,

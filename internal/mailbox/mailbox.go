@@ -123,6 +123,10 @@ type Mailbox[T any] struct {
 	// tuple, so at most Capacity batches can be outstanding and a flush
 	// by a credit-holding sender never blocks.
 	batches chan []T
+	// blocked counts send episodes that found the mailbox full and had to
+	// wait (or shed): the BAS backpressure events the observability layer
+	// reports as credit stalls.
+	blocked atomic.Uint64
 	// pool recycles batch buffers between senders and the consumer.
 	pool sync.Pool
 
@@ -172,6 +176,11 @@ func (m *Mailbox[T]) Queued() int {
 
 // Capacity returns the BAS bound the mailbox was built with.
 func (m *Mailbox[T]) Capacity() int { return m.capacity }
+
+// Blocked returns the number of send episodes that found the mailbox at
+// capacity and had to wait for a credit (or shed on timeout) — one count
+// per stall, not per tuple. It is the mailbox's backpressure signal.
+func (m *Mailbox[T]) Blocked() uint64 { return m.blocked.Load() }
 
 // Drain removes and counts every tuple still queued — including the
 // remainder of a batch the consumer was part-way through — returning
@@ -392,6 +401,7 @@ func (s *Sender[T]) acquireSlow(done <-chan struct{}) SendResult {
 // timeout expires (Dropped; zero timeout blocks forever), or done closes
 // (Closed).
 func (m *Mailbox[T]) waitCredit(timeout time.Duration, done <-chan struct{}) SendResult {
+	m.blocked.Add(1)
 	var timeoutC <-chan time.Time
 	if timeout > 0 {
 		timer := time.NewTimer(timeout)
@@ -482,12 +492,13 @@ func (s *Sender[T]) SendMany(ts []T, done <-chan struct{}) (sent, dropped int, o
 
 // sendTuple is the PerTuple transport: the existing bounded-channel dance.
 func (s *Sender[T]) sendTuple(t T, done <-chan struct{}) SendResult {
+	select {
+	case s.m.ch <- t:
+		return Sent
+	default:
+	}
+	s.m.blocked.Add(1)
 	if s.timeout > 0 {
-		select {
-		case s.m.ch <- t:
-			return Sent
-		default:
-		}
 		timer := time.NewTimer(s.timeout)
 		defer timer.Stop()
 		select {

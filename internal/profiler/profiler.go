@@ -92,6 +92,31 @@ func Measure(op operators.Operator, cfg Config) (Profile, error) {
 	return p, nil
 }
 
+// Apply overwrites each vertex's ServiceTime and selectivities with an
+// already-measured profile, index-aligned with OpIDs — the counterpart of
+// Annotate for profiles obtained outside the profiler, e.g. rebuilt from a
+// live run's registry snapshot (internal/obs). A profile with zero
+// ServiceTime means "no measurement" and leaves its vertex untouched.
+func Apply(t *core.Topology, profiles []Profile) error {
+	if len(profiles) != t.Len() {
+		return fmt.Errorf("profiler: %d profiles for %d operators", len(profiles), t.Len())
+	}
+	for i, p := range profiles {
+		if p.ServiceTime <= 0 {
+			continue
+		}
+		v := t.Op(core.OpID(i))
+		v.ServiceTime = p.ServiceTime
+		if p.InputSelectivity > 0 {
+			v.InputSelectivity = p.InputSelectivity
+		}
+		if p.OutputSelectivity > 0 {
+			v.OutputSelectivity = p.OutputSelectivity
+		}
+	}
+	return nil
+}
+
 // Annotate profiles every bound operator of a topology and overwrites the
 // vertices' ServiceTime and selectivity fields with the measured values —
 // the "execute the application as is for a reasonable amount of time"

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"spinstreams/internal/faultinject"
 	"spinstreams/internal/mailbox"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/plan"
 )
 
@@ -39,6 +41,9 @@ func chaosRun(t *testing.T, mode mailbox.Mode, inj *faultinject.Injector, maxRes
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every chaos run binds a caller-style registry, so the sampled
+	// instrumentation paths (histograms, probes) are exercised under
+	// faults and the registry's recomputed totals can be cross-checked.
 	cfg := Config{
 		Seed:             7,
 		Duration:         500 * time.Millisecond,
@@ -51,6 +56,7 @@ func chaosRun(t *testing.T, mode mailbox.Mode, inj *faultinject.Injector, maxRes
 		Linger:           300 * time.Microsecond,
 		MaxRestarts:      maxRestarts,
 		Faults:           inj,
+		Obs:              obs.New(),
 	}
 	cfg, err = cfg.withDefaults()
 	if err != nil {
@@ -80,6 +86,30 @@ func checkConservation(t *testing.T, m *Metrics) {
 	}
 	if tt.Generated == 0 {
 		t.Fatal("source generated nothing")
+	}
+}
+
+// checkRegistryConservation recomputes the conservation identity purely
+// from registry counters — no engine state involved — and cross-checks the
+// recomputed totals against the engine's Metrics view to the tuple: both
+// read the same atomic cells, so any difference is a double- or
+// under-count on one of the accounting paths.
+func checkRegistryConservation(t *testing.T, m *Metrics, reg *obs.Registry) {
+	t.Helper()
+	tot := reg.Snapshot().Totals()
+	if tot.Generated != tot.Sum() {
+		t.Fatalf("registry conservation violated: %v (sum %d)", tot, tot.Sum())
+	}
+	want := obs.Totals{
+		Generated: m.Totals.Generated,
+		Delivered: m.Totals.Delivered,
+		Shed:      m.Totals.Shed,
+		Failed:    m.Totals.Failed,
+		Drained:   m.Totals.Drained,
+		Abandoned: m.Totals.Abandoned,
+	}
+	if tot != want {
+		t.Fatalf("registry totals %v != engine totals %v", tot, want)
 	}
 }
 
@@ -113,6 +143,7 @@ func TestChaosConservationLocal(t *testing.T) {
 				})
 				m, e := chaosRun(t, mode, inj, -1)
 				checkConservation(t, m)
+				checkRegistryConservation(t, m, e.reg)
 				checkCreditsRestored(t, e)
 				if m.Totals.Delivered == 0 {
 					t.Fatal("nothing delivered despite unlimited restarts")
@@ -146,6 +177,7 @@ func TestChaosSheddingParityUnderFaults(t *testing.T) {
 			})
 			m, e := chaosRun(t, mode, inj, -1)
 			checkConservation(t, m)
+			checkRegistryConservation(t, m, e.reg)
 			checkCreditsRestored(t, e)
 			if m.Totals.Shed == 0 {
 				t.Fatal("no shedding under injected slowdowns with a tight SendTimeout")
@@ -171,6 +203,7 @@ func TestChaosDegradedStation(t *testing.T) {
 			})
 			m, e := chaosRun(t, mode, inj, 2)
 			checkConservation(t, m)
+			checkRegistryConservation(t, m, e.reg)
 			checkCreditsRestored(t, e)
 			if m.Degraded == 0 {
 				t.Fatal("no station degraded despite 2% panic rate and a budget of 2")
@@ -212,6 +245,124 @@ func TestChaosRecoveryDisabledByDefault(t *testing.T) {
 	}
 }
 
+// countingTracer records how many times each lifecycle hook fired, plus
+// the tuple totals passed through the hooks. All fields are atomic
+// because tracers fire from every station goroutine concurrently.
+type countingTracer struct {
+	receives, received atomic.Uint64
+	serves, served     atomic.Uint64
+	emits, emitted     atomic.Uint64
+	restarts, degrades atomic.Uint64
+}
+
+func (c *countingTracer) OnReceive(_, n int) {
+	c.receives.Add(1)
+	c.received.Add(uint64(n))
+}
+func (c *countingTracer) OnServe(_, n int, _ time.Duration) {
+	c.serves.Add(1)
+	c.served.Add(uint64(n))
+}
+func (c *countingTracer) OnEmit(_, n int) {
+	c.emits.Add(1)
+	c.emitted.Add(uint64(n))
+}
+func (c *countingTracer) OnRestart(_ int, _ uint64) { c.restarts.Add(1) }
+func (c *countingTracer) OnDegrade(_ int)           { c.degrades.Add(1) }
+
+// TestChaosTracerLifecycle runs a panicking schedule with a tracer
+// attached and checks the hook contract: an installed tracer forces full
+// (unsampled) service accounting, so the tuples seen via OnServe equal
+// the registry's consumed total, every injected restart and degradation
+// surfaces through the hooks, and emit accounting covers both admitted
+// and shed tuples.
+func TestChaosTracerLifecycle(t *testing.T) {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			inj := faultinject.New(faultinject.Config{
+				Seed:      21,
+				PanicProb: 0.01,
+			})
+			topo := pipeline(t, 0.0002, 0.0002, 0.0001, 0.0001)
+			p, err := plan.Build(topo, plan.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.New()
+			tr := &countingTracer{}
+			reg.AddTracer(tr)
+			cfg := Config{
+				Seed:             7,
+				Duration:         500 * time.Millisecond,
+				Warmup:           150 * time.Millisecond,
+				MailboxSize:      32,
+				NoServicePadding: true,
+				SendTimeout:      200 * time.Microsecond,
+				Mailbox:          mode,
+				Batch:            16,
+				Linger:           300 * time.Microsecond,
+				MaxRestarts:      2,
+				Faults:           inj,
+				Obs:              reg,
+			}
+			cfg, err = cfg.withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := newEngine(p, &Binding{}, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := e.execute(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkConservation(t, m)
+			checkRegistryConservation(t, m, reg)
+
+			// A tracer forces full (unsampled) service accounting, so
+			// OnServe must cover every successfully served tuple. Tuples a
+			// panic or degradation counted as consumed never reach OnServe:
+			// per-tuple that is exactly the failed bucket; batched epochs
+			// additionally lose the partially-processed batch in hand
+			// (bounded by Batch per panicked epoch).
+			var consumed, failed uint64
+			for _, st := range reg.Snapshot().Stations {
+				consumed += st.Consumed
+				failed += st.Failed
+			}
+			served := tr.served.Load()
+			if served > consumed {
+				t.Errorf("OnServe saw %d tuples but only %d consumed (double-fire)", served, consumed)
+			}
+			slack := failed + uint64(cfg.Batch)*(m.Restarts+uint64(m.Degraded))
+			if consumed-served > slack {
+				t.Errorf("OnServe saw %d of %d consumed tuples; gap %d exceeds panic-loss bound %d (sampling not disabled?)",
+					served, consumed, consumed-served, slack)
+			}
+			if served == 0 {
+				t.Error("OnServe never fired")
+			}
+			if tr.receives.Load() == 0 || tr.received.Load() == 0 {
+				t.Error("OnReceive never fired")
+			}
+			if tr.emits.Load() == 0 {
+				t.Error("OnEmit never fired")
+			}
+			if got, want := tr.restarts.Load(), m.Restarts; got != want {
+				t.Errorf("OnRestart fired %d times, engine recorded %d restarts", got, want)
+			}
+			if got, want := tr.degrades.Load(), m.Degraded; got != uint64(want) {
+				t.Errorf("OnDegrade fired %d times, engine degraded %d stations", got, want)
+			}
+			if c := inj.Counts(); c.Panics == 0 {
+				t.Fatal("fault schedule injected no panics")
+			}
+		})
+	}
+}
+
 // TestChaosDistributedConnReset injects periodic connection resets with
 // partial writes into a two-node pipeline and verifies the retry/backoff
 // path: the run survives, traffic keeps flowing after resets, and the
@@ -229,6 +380,7 @@ func TestChaosDistributedConnReset(t *testing.T) {
 				ResetEveryWrites:  40,
 				PartialWriteBytes: 7,
 			})
+			reg := obs.New()
 			cfg := DistributedConfig{
 				Config: Config{
 					Seed:        uint64(sched),
@@ -237,6 +389,7 @@ func TestChaosDistributedConnReset(t *testing.T) {
 					MailboxSize: 32,
 					MaxRestarts: -1,
 					Faults:      inj,
+					Obs:         reg,
 				},
 				Nodes:        2,
 				RetryBackoff: time.Millisecond,
@@ -247,6 +400,10 @@ func TestChaosDistributedConnReset(t *testing.T) {
 				t.Fatal(err)
 			}
 			checkConservation(t, m)
+			// Registry recomputation must survive the network accounting
+			// too: cross-node edges contribute their in-flight loss from
+			// the edge frame counters.
+			checkRegistryConservation(t, m, reg)
 			c := inj.Counts()
 			if c.ConnResets == 0 {
 				t.Fatal("no connection resets fired")
@@ -275,6 +432,7 @@ func TestChaosDistributedLegacyStickyError(t *testing.T) {
 		Seed:             11,
 		ResetEveryWrites: 25,
 	})
+	reg := obs.New()
 	cfg := DistributedConfig{
 		Config: Config{
 			Seed:        11,
@@ -282,6 +440,7 @@ func TestChaosDistributedLegacyStickyError(t *testing.T) {
 			Warmup:      200 * time.Millisecond,
 			MailboxSize: 32,
 			Faults:      inj,
+			Obs:         reg,
 		},
 		Nodes:        2,
 		SendDeadline: -1,
@@ -291,6 +450,7 @@ func TestChaosDistributedLegacyStickyError(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkConservation(t, m)
+	checkRegistryConservation(t, m, reg)
 	if inj.Counts().ConnResets == 0 {
 		t.Fatal("no reset fired")
 	}

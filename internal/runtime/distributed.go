@@ -7,10 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"spinstreams/internal/mailbox"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
@@ -167,13 +167,12 @@ type distEngine struct {
 	senders map[plan.StationID]map[plan.StationID]*remoteOutbox
 	readers sync.WaitGroup
 
-	// wrote/recvd count tuples in successfully encoded / decoded frames
-	// per cross-node edge (keyed by edgeKey); their difference after
-	// shutdown is the network in-flight loss, folded into
-	// Totals.Abandoned. The maps are fully built before any listener
-	// accepts and are only read afterwards.
-	wrote map[int]*atomic.Uint64
-	recvd map[int]*atomic.Uint64
+	// edges maps edgeKey to the registry's per-cross-node-edge frame
+	// accounting (tuples in successfully encoded / decoded frames); the
+	// wrote-recvd difference after shutdown is the network in-flight
+	// loss, folded into Totals.Abandoned. The map is fully built before
+	// any listener accepts and is only read afterwards.
+	edges map[int]*obs.Edge
 }
 
 // edgeKey identifies one cross-node physical edge in the counter maps
@@ -204,9 +203,9 @@ type remoteOutbox struct {
 	// time per frame. deadline < 0 selects the legacy sticky-error mode.
 	backoff  time.Duration
 	deadline time.Duration
-	// wrote is the edge's successfully-encoded tuple counter, shared
-	// across reconnects.
-	wrote *atomic.Uint64
+	// edge is the registry's frame accounting for this cross-node edge
+	// (Wrote side written here, shared across reconnects).
+	edge *obs.Edge
 
 	mu    sync.Mutex
 	conn  net.Conn
@@ -223,7 +222,7 @@ func (o *remoteOutbox) send(t operators.Tuple) error {
 	if o.err != nil {
 		// Dead edge (legacy mode) or shutdown: account the tuple here so
 		// the caller doesn't have to.
-		o.d.abandoned[o.from].Add(1)
+		o.d.st[o.from].Abandoned.Add(1)
 		return o.err
 	}
 	o.buf = append(o.buf, t)
@@ -244,7 +243,7 @@ func (o *remoteOutbox) flushLocked() error {
 		return o.err
 	}
 	if err := o.enc.Encode(wire{Tuples: o.buf}); err == nil {
-		o.wrote.Add(uint64(len(o.buf)))
+		o.edge.Wrote.Add(uint64(len(o.buf)))
 		o.buf = o.buf[:0]
 		return nil
 	}
@@ -252,7 +251,7 @@ func (o *remoteOutbox) flushLocked() error {
 		// Legacy mode: the first write error permanently kills the edge
 		// and its sending station; the frame never left.
 		o.err = errEdgeDown
-		o.d.abandoned[o.from].Add(uint64(len(o.buf)))
+		o.d.st[o.from].Abandoned.Add(uint64(len(o.buf)))
 		o.buf = o.buf[:0]
 		return o.err
 	}
@@ -270,7 +269,7 @@ func (o *remoteOutbox) retryLocked() error {
 		o.conn.Close()
 		if !o.d.sleepBackoff(back) {
 			o.err = errShutdown
-			o.d.abandoned[o.from].Add(uint64(len(o.buf)))
+			o.d.st[o.from].Abandoned.Add(uint64(len(o.buf)))
 			o.buf = o.buf[:0]
 			return o.err
 		}
@@ -278,8 +277,8 @@ func (o *remoteOutbox) retryLocked() error {
 			back *= 2
 		}
 		if time.Since(start) >= o.deadline {
-			o.d.emitted[o.from].Add(uint64(len(o.buf)))
-			o.d.dropped[o.target].Add(uint64(len(o.buf)))
+			o.d.st[o.from].Emitted.Add(uint64(len(o.buf)))
+			o.d.st[o.target].Dropped.Add(uint64(len(o.buf)))
 			o.buf = o.buf[:0]
 			return nil
 		}
@@ -294,7 +293,7 @@ func (o *remoteOutbox) retryLocked() error {
 		if o.enc.Encode(wire{Tuples: o.buf}) != nil {
 			continue
 		}
-		o.wrote.Add(uint64(len(o.buf)))
+		o.edge.Wrote.Add(uint64(len(o.buf)))
 		o.buf = o.buf[:0]
 		return nil
 	}
@@ -308,7 +307,7 @@ func (o *remoteOutbox) abort() {
 		o.timer.Stop()
 	}
 	if n := len(o.buf); n > 0 {
-		o.d.abandoned[o.from].Add(uint64(n))
+		o.d.st[o.from].Abandoned.Add(uint64(n))
 		o.buf = nil
 	}
 	if o.err == nil {
@@ -348,14 +347,12 @@ func (d *distEngine) sleepBackoff(dur time.Duration) bool {
 func (d *distEngine) connect() error {
 	// The per-edge frame counters must exist before any acceptLoop can
 	// hand a connection to a readLoop.
-	d.wrote = make(map[int]*atomic.Uint64)
-	d.recvd = make(map[int]*atomic.Uint64)
+	d.edges = make(map[int]*obs.Edge)
 	for i := range d.p.Stations {
 		for _, e := range d.p.Stations[i].Out {
 			if d.assignment[i] != d.assignment[e.To] {
 				k := edgeKey(plan.StationID(i), e.To)
-				d.wrote[k] = &atomic.Uint64{}
-				d.recvd[k] = &atomic.Uint64{}
+				d.edges[k] = d.reg.Edge(i, int(e.To))
 			}
 		}
 	}
@@ -394,7 +391,7 @@ func (d *distEngine) connect() error {
 				d: d, from: from, target: e.To, addr: addr,
 				conn: conn, enc: enc, batch: batch, linger: d.cfg.Linger,
 				backoff: d.retryBackoff, deadline: d.sendDeadline,
-				wrote: d.wrote[edgeKey(from, e.To)],
+				edge: d.edges[edgeKey(from, e.To)],
 			}
 		}
 	}
@@ -469,8 +466,8 @@ func (d *distEngine) readLoop(conn net.Conn) {
 	if int(hs.Target) < 0 || int(hs.Target) >= len(d.mailboxes) {
 		return
 	}
-	rc := d.recvd[edgeKey(hs.From, hs.Target)]
-	if rc == nil {
+	ed := d.edges[edgeKey(hs.From, hs.Target)]
+	if ed == nil {
 		// Not a planned cross-node edge; refuse the stream.
 		return
 	}
@@ -483,22 +480,22 @@ func (d *distEngine) readLoop(conn net.Conn) {
 		if err := dec.Decode(&w); err != nil {
 			return
 		}
-		rc.Add(uint64(len(w.Tuples)))
+		ed.Recvd.Add(uint64(len(w.Tuples)))
 		for i, t := range w.Tuples {
 			if snd.Send(t, d.done) != mailbox.Sent {
 				// Shutdown mid-frame: the undelivered remainder is
 				// decoded in-flight residue, accounted like mailbox
 				// drain residue.
-				d.drained[hs.Target].Add(uint64(len(w.Tuples) - i))
+				d.st[hs.Target].Drained.Add(uint64(len(w.Tuples) - i))
 				return
 			}
 			// Both ends of the edge are counted here: emission is only
 			// final once the item clears the network and lands in the
 			// target mailbox (TCP windowing makes sender-side counts
 			// bursty).
-			d.arrived[hs.Target].Add(1)
-			if int(hs.From) >= 0 && int(hs.From) < len(d.emitted) {
-				d.emitted[hs.From].Add(1)
+			d.st[hs.Target].Arrived.Add(1)
+			if int(hs.From) >= 0 && int(hs.From) < len(d.st) {
+				d.st[hs.From].Emitted.Add(1)
 			}
 		}
 	}
@@ -524,7 +521,7 @@ func (d *distEngine) send(from plan.StationID, edgeIdx int, edge *plan.Edge, t o
 		if ob := outs[edge.To]; ob != nil {
 			select {
 			case <-d.done:
-				d.abandoned[from].Add(1)
+				d.st[from].Abandoned.Add(1)
 				return false
 			default:
 			}
@@ -549,7 +546,7 @@ func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge,
 		if ob := outs[edge.To]; ob != nil {
 			select {
 			case <-d.done:
-				d.abandoned[from].Add(uint64(len(ts)))
+				d.st[from].Abandoned.Add(uint64(len(ts)))
 				return false
 			default:
 			}
@@ -560,7 +557,7 @@ func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge,
 				if ob.send(ts[i]) != nil {
 					// ts[i] was accounted by the outbox; the tail never
 					// went anywhere.
-					d.abandoned[from].Add(uint64(len(ts) - i - 1))
+					d.st[from].Abandoned.Add(uint64(len(ts) - i - 1))
 					return false
 				}
 			}
@@ -581,9 +578,11 @@ func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
 	}
 	sleepCtx(ctx, d.cfg.Warmup)
 	snap1 := d.snapshotAll()
+	d.reg.MarkWindowBegin()
 	start := time.Now()
 	sleepCtx(ctx, d.cfg.Duration-d.cfg.Warmup)
 	snap2 := d.snapshotAll()
+	d.reg.MarkWindowEnd()
 	window := time.Since(start).Seconds()
 	close(d.done)
 	// Waking actors stalled inside TCP writes: expire every connection.
@@ -608,8 +607,8 @@ func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
 	// Network in-flight loss: tuples in frames written but never
 	// decoded (severed connections, discarded socket buffers).
 	var loss uint64
-	for k, w := range d.wrote {
-		if wv, rv := w.Load(), d.recvd[k].Load(); wv > rv {
+	for _, e := range d.edges {
+		if wv, rv := e.Wrote.Load(), e.Recvd.Load(); wv > rv {
 			loss += wv - rv
 		}
 	}

@@ -21,12 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/faultinject"
 	"spinstreams/internal/mailbox"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/stats"
@@ -93,6 +93,15 @@ type Config struct {
 	// delays, and — under the distributed engine — connection resets.
 	// Build a fresh injector per run (see internal/faultinject).
 	Faults *faultinject.Injector
+	// Obs, when non-nil, binds the run to that observability registry:
+	// its Snapshot/HTTP endpoints see the live counters, its tracers fire
+	// at station lifecycle points, and sampled histograms (service time,
+	// inter-arrival, queue depth, batch size) are recorded. When nil the
+	// engine still routes every counter through a private registry — the
+	// single accounting path Metrics is a view over — but skips the timed
+	// sampling, so the uninstrumented hot path stays unchanged. A registry
+	// serves one run at a time (the run rebinds and resets it).
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields and rejects nonsensical configurations
@@ -256,18 +265,18 @@ type engine struct {
 	// same per-tuple admission and shedding semantics as sendFn.
 	sendManyFn func(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool
 
-	consumed []atomic.Uint64
-	emitted  []atomic.Uint64
-	arrived  []atomic.Uint64
-	dropped  []atomic.Uint64
-	// Failure accounting (see Totals): failed tuples lost to panics,
-	// abandoned outputs never admitted downstream, drained shutdown
-	// residue, plus restart/degradation bookkeeping.
-	failed    []atomic.Uint64
-	abandoned []atomic.Uint64
-	drained   []atomic.Uint64
-	restarts  []atomic.Uint64
-	degraded  []atomic.Bool
+	// reg is the observability registry every counter flows through (the
+	// single accounting path; Metrics is a view over it) and st is its
+	// per-station cell slice, indexed by StationID — one pointer chase per
+	// atomic add, same cost as the engine-private counter slices it
+	// replaced. When the caller didn't supply a registry, reg is private.
+	reg *obs.Registry
+	st  []*obs.Station
+	// tracers are the registry's lifecycle hooks, fetched once; sample
+	// enables the timed histogram instrumentation (caller-supplied
+	// registry only — see Config.Obs).
+	tracers []obs.Tracer
+	sample  bool
 	// stFaults[i] is station i's injected fault stream (nil entries when
 	// no injector is configured); fetched once so the per-tuple hot path
 	// is a nil check.
@@ -283,17 +292,26 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 		mailboxes: make([]*mailbox.Mailbox[operators.Tuple], len(p.Stations)),
 		senders:   make([][]*mailbox.Sender[operators.Tuple], len(p.Stations)),
 		done:      make(chan struct{}),
-		consumed:  make([]atomic.Uint64, len(p.Stations)),
-		emitted:   make([]atomic.Uint64, len(p.Stations)),
-		arrived:   make([]atomic.Uint64, len(p.Stations)),
-		dropped:   make([]atomic.Uint64, len(p.Stations)),
-		failed:    make([]atomic.Uint64, len(p.Stations)),
-		abandoned: make([]atomic.Uint64, len(p.Stations)),
-		drained:   make([]atomic.Uint64, len(p.Stations)),
-		restarts:  make([]atomic.Uint64, len(p.Stations)),
-		degraded:  make([]atomic.Bool, len(p.Stations)),
+		reg:       cfg.Obs,
+		sample:    cfg.Obs != nil,
 		stFaults:  make([]*faultinject.StationFaults, len(p.Stations)),
 	}
+	if e.reg == nil {
+		e.reg = obs.New()
+	}
+	infos := make([]obs.StationInfo, len(p.Stations))
+	for i := range p.Stations {
+		st := &p.Stations[i]
+		infos[i] = obs.StationInfo{
+			Name:   st.Name,
+			Role:   st.Role.String(),
+			Op:     int(st.Op),
+			Source: st.Role == plan.RoleSource,
+			Sink:   len(st.Out) == 0,
+		}
+	}
+	e.st = e.reg.Bind(infos)
+	e.tracers = e.reg.Tracers()
 	if cfg.Faults != nil {
 		for i := range e.stFaults {
 			e.stFaults[i] = cfg.Faults.Station(i)
@@ -318,6 +336,18 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 			e.senders[i][j] = e.mailboxes[out[j].To].NewSender(cfg.SendTimeout)
 		}
 	}
+	// Mailbox gauges (queue depth, capacity, blocked sends) reach
+	// snapshots through the sampler — the mailboxes outlive the run, so
+	// post-run snapshots still see the final figures.
+	mbs := e.mailboxes
+	e.reg.SetSampler(func(i int) obs.Gauges {
+		m := mbs[i]
+		return obs.Gauges{
+			Queued:       uint64(m.Queued()),
+			Capacity:     uint64(m.Capacity()),
+			BlockedSends: m.Blocked(),
+		}
+	})
 	e.sendFn = e.localSend
 	e.sendManyFn = e.localSendMany
 	return e, nil
@@ -334,15 +364,21 @@ func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t 
 	}
 	switch e.senders[from][edgeIdx].Send(t, e.done) {
 	case mailbox.Sent:
-		e.emitted[from].Add(1)
-		e.arrived[edge.To].Add(1)
+		e.st[from].Emitted.Add(1)
+		e.st[edge.To].Arrived.Add(1)
+		if len(e.tracers) != 0 {
+			e.fireEmit(from, 1)
+		}
 		return true
 	case mailbox.Dropped:
-		e.emitted[from].Add(1)
-		e.dropped[edge.To].Add(1)
+		e.st[from].Emitted.Add(1)
+		e.st[edge.To].Dropped.Add(1)
+		if len(e.tracers) != 0 {
+			e.fireEmit(from, 1)
+		}
 		return true
 	default: // mailbox.Closed: engine shutdown; the tuple was never admitted.
-		e.abandoned[from].Add(1)
+		e.st[from].Abandoned.Add(1)
 		return false
 	}
 }
@@ -356,18 +392,158 @@ func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge
 	}
 	sent, dropped, ok := e.senders[from][edgeIdx].SendMany(ts, e.done)
 	if n := uint64(sent + dropped); n > 0 {
-		e.emitted[from].Add(n)
-		e.arrived[edge.To].Add(uint64(sent))
+		e.st[from].Emitted.Add(n)
+		e.st[edge.To].Arrived.Add(uint64(sent))
 		if dropped > 0 {
-			e.dropped[edge.To].Add(uint64(dropped))
+			e.st[edge.To].Dropped.Add(uint64(dropped))
+		}
+		if len(e.tracers) != 0 {
+			e.fireEmit(from, sent+dropped)
 		}
 	}
 	if !ok {
 		// Shutdown aborted the delivery part-way: the tail was never
 		// admitted anywhere.
-		e.abandoned[from].Add(uint64(len(ts) - sent - dropped))
+		e.st[from].Abandoned.Add(uint64(len(ts) - sent - dropped))
 	}
 	return ok
+}
+
+// probe carries one station's timed instrumentation: histogram samples
+// (service time, inter-arrival, queue depth, batch size) and the tracer
+// lifecycle hooks. A nil probe — the default when no caller-supplied
+// registry is configured — is safe to call and does nothing, so the hot
+// loops pay only a static call with a nil check when observability is off.
+type probe struct {
+	st      *obs.Station
+	inbox   *mailbox.Mailbox[operators.Tuple]
+	tracers []obs.Tracer
+	id      int
+	// traced gates the per-event tracer hooks; when set, every event takes
+	// the slow path and service timing covers every tuple.
+	traced bool
+	// last is the previous sampled receive event; pending counts tuples
+	// arrived since then, so the mean inter-arrival gap stays exact under
+	// subsampling.
+	last    time.Time
+	pending uint64
+	// events and served drive the subsampled histogram records; flushed
+	// remembers the events value at the last Receives flush, so the hot
+	// path never touches the shared atomic and the Receives counter trails
+	// live reads by at most one sampling period.
+	events, served, flushed uint64
+}
+
+// sampleMask subsamples the timed instrumentation 1-in-128: dense enough
+// that every station records a service sample on its first tuple (the
+// mask fires at event 1) and a drift window still collects several
+// samples per operator, sparse enough that the amortized
+// histogram-and-clock cost stays inside the documented <5% dataplane
+// overhead budget. Measured on the contended per-tuple transport, 1-in-64
+// cost ~13% end-to-end (the sampled pauses disturb the channel convoy),
+// 1-in-128 ~2%.
+const sampleMask = 127
+
+// newProbe returns a probe for the station, or nil when timed sampling is
+// off (Config.Obs == nil).
+func (e *engine) newProbe(id plan.StationID) *probe {
+	if !e.sample {
+		return nil
+	}
+	return &probe{
+		st:      e.st[id],
+		inbox:   e.mailboxes[id],
+		tracers: e.tracers,
+		traced:  len(e.tracers) > 0,
+		id:      int(id),
+	}
+}
+
+// onReceive records one receive event of n tuples. Unlike the other probe
+// methods it is NOT nil-safe — callers guard — to keep the hot path
+// inline-sized: two probe-local increments and a mask test, with
+// everything shared (the Receives counter flush, tracer hooks, histogram
+// records) deferred to onReceiveSlow on sampled or traced events.
+func (p *probe) onReceive(n int) {
+	p.pending += uint64(n)
+	p.events++
+	if p.traced || p.events&sampleMask == 1 {
+		p.onReceiveSlow(n)
+	}
+}
+
+// onReceiveSlow fires the OnReceive hooks and — on sampled events —
+// flushes the receive-event counter and records inter-arrival time (mean
+// gap per tuple since the previous sample), queue depth and batch size.
+func (p *probe) onReceiveSlow(n int) {
+	for _, t := range p.tracers {
+		t.OnReceive(p.id, n)
+	}
+	if p.events&sampleMask != 1 {
+		return
+	}
+	p.st.Receives.Add(p.events - p.flushed)
+	p.flushed = p.events
+	now := time.Now()
+	if !p.last.IsZero() && p.pending > 0 {
+		gap := uint64(now.Sub(p.last).Nanoseconds()) / p.pending
+		p.st.InterArrival.RecordN(gap, p.pending)
+	}
+	p.last = now
+	p.pending = 0
+	p.st.QueueDepth.Record(uint64(p.inbox.Queued()))
+	p.st.BatchSize.Record(uint64(n))
+}
+
+// sampleService reports whether this tuple's service episode should be
+// timed: every 128th tuple, or every tuple while tracers are attached.
+func (p *probe) sampleService() bool {
+	if p == nil {
+		return false
+	}
+	p.served++
+	return p.traced || p.served&sampleMask == 1
+}
+
+// onServe records one timed service episode covering n tuples. The
+// recorded value is the mean per-tuple wall time of the episode; for
+// batched episodes that includes time blocked on downstream admission
+// (backpressure is part of the effective service time the cost model
+// predicts via BAS).
+func (p *probe) onServe(started time.Time, n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	elapsed := time.Since(started)
+	p.st.Service.RecordN(uint64(elapsed.Nanoseconds())/uint64(n), uint64(n))
+	for _, t := range p.tracers {
+		t.OnServe(p.id, n, elapsed)
+	}
+}
+
+// onEmit fires the OnEmit hook for n tuples leaving a sink. The untraced
+// hot path is a single inlined flag test.
+func (p *probe) onEmit(n int) {
+	if p == nil || !p.traced || n == 0 {
+		return
+	}
+	p.onEmitSlow(n)
+}
+
+//go:noinline
+func (p *probe) onEmitSlow(n int) {
+	for _, t := range p.tracers {
+		t.OnEmit(p.id, n)
+	}
+}
+
+// fireEmit fires OnEmit for tuples leaving a station along an edge; it is
+// called from the send paths, which have no probe in scope, and is gated
+// on the tracer list so the common untraced run pays one len check.
+func (e *engine) fireEmit(id plan.StationID, n int) {
+	for _, t := range e.tracers {
+		t.OnEmit(int(id), n)
+	}
 }
 
 // Run executes the plan for cfg.Duration and reports steady-state metrics.
@@ -405,12 +581,16 @@ func (e *engine) execute(ctx context.Context) (*Metrics, error) {
 		go e.runStation(st, rng.Uint64())
 	}
 
-	// Warmup, snapshot, measure, snapshot, stop.
+	// Warmup, snapshot, measure, snapshot, stop. The registry window marks
+	// bracket the same steady-state interval, so WindowRates and the drift
+	// report measure what Metrics measures.
 	sleepCtx(ctx, e.cfg.Warmup)
 	snap1 := e.snapshotAll()
+	e.reg.MarkWindowBegin()
 	start := time.Now()
 	sleepCtx(ctx, e.cfg.Duration-e.cfg.Warmup)
 	snap2 := e.snapshotAll()
+	e.reg.MarkWindowEnd()
 	window := time.Since(start).Seconds()
 	close(e.done)
 	e.wg.Wait()
@@ -427,7 +607,7 @@ func (e *engine) execute(ctx context.Context) (*Metrics, error) {
 func (e *engine) drainMailboxes() {
 	for i := range e.mailboxes {
 		if n := e.mailboxes[i].Drain(); n > 0 {
-			e.drained[i].Add(uint64(n))
+			e.st[i].Drained.Add(uint64(n))
 		}
 	}
 }
@@ -446,10 +626,10 @@ func (e *engine) snapshotAll() counterSnapshot {
 		dropped:  make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
-		s.consumed[i] = e.consumed[i].Load()
-		s.emitted[i] = e.emitted[i].Load()
-		s.arrived[i] = e.arrived[i].Load()
-		s.dropped[i] = e.dropped[i].Load()
+		s.consumed[i] = e.st[i].Consumed.Load()
+		s.emitted[i] = e.st[i].Emitted.Load()
+		s.arrived[i] = e.st[i].Arrived.Load()
+		s.dropped[i] = e.st[i].Dropped.Load()
 	}
 	return s
 }
@@ -476,8 +656,8 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 			Emitted:     emitted,
 			ConsumeRate: float64(consumed) / window,
 			EmitRate:    float64(emitted) / window,
-			Restarts:    e.restarts[i].Load(),
-			Degraded:    e.degraded[i].Load(),
+			Restarts:    e.st[i].Restarts.Load(),
+			Degraded:    e.st[i].Degraded.Load(),
 		}
 		m.Restarts += m.Stations[i].Restarts
 		if m.Stations[i].Degraded {
@@ -486,14 +666,14 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 		// Lifetime totals (not windowed): see the Totals doc for the
 		// bucket definitions and the conservation identity.
 		st := &p.Stations[i]
-		m.Totals.Shed += e.dropped[i].Load()
-		m.Totals.Failed += e.failed[i].Load()
-		m.Totals.Abandoned += e.abandoned[i].Load()
-		m.Totals.Drained += e.drained[i].Load()
+		m.Totals.Shed += e.st[i].Dropped.Load()
+		m.Totals.Failed += e.st[i].Failed.Load()
+		m.Totals.Abandoned += e.st[i].Abandoned.Load()
+		m.Totals.Drained += e.st[i].Drained.Load()
 		if st.Role == plan.RoleSource {
-			m.Totals.Generated += e.consumed[i].Load()
+			m.Totals.Generated += e.st[i].Consumed.Load()
 		} else if len(st.Out) == 0 {
-			m.Totals.Delivered += e.emitted[i].Load()
+			m.Totals.Delivered += e.st[i].Emitted.Load()
 		}
 	}
 	for op := range p.WorkersOf {
@@ -546,12 +726,18 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 		if e.stationEpoch(st, rng) {
 			return
 		}
-		if max := e.cfg.MaxRestarts; max >= 0 && e.restarts[st.ID].Load() >= uint64(max) {
-			e.degraded[st.ID].Store(true)
+		if max := e.cfg.MaxRestarts; max >= 0 && e.st[st.ID].Restarts.Load() >= uint64(max) {
+			e.st[st.ID].Degraded.Store(true)
+			for _, t := range e.tracers {
+				t.OnDegrade(int(st.ID))
+			}
 			e.runDegraded(st)
 			return
 		}
-		e.restarts[st.ID].Add(1)
+		n := e.st[st.ID].Restarts.Add(1)
+		for _, t := range e.tracers {
+			t.OnRestart(int(st.ID), n)
+		}
 	}
 }
 
@@ -574,8 +760,8 @@ func (e *engine) runDegraded(st *plan.Station) {
 		if _, ok := inbox.Recv(e.done); !ok {
 			return
 		}
-		e.consumed[st.ID].Add(1)
-		e.failed[st.ID].Add(1)
+		e.st[st.ID].Consumed.Add(1)
+		e.st[st.ID].Failed.Add(1)
 	}
 }
 
@@ -600,14 +786,15 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 	rr := 0
 	outs := make([]routed, 0, 8)
 	fl := e.stFaults[st.ID]
+	pr := e.newProbe(st.ID)
 	inHand := 0
 	if e.cfg.MaxRestarts != 0 {
 		defer func() {
 			if r := recover(); r != nil {
 				// The tuple in hand left the mailbox but its processing
 				// died with the panic; its partial outputs die with it.
-				e.consumed[st.ID].Add(uint64(inHand))
-				e.failed[st.ID].Add(uint64(inHand))
+				e.st[st.ID].Consumed.Add(uint64(inHand))
+				e.st[st.ID].Failed.Add(uint64(inHand))
 				clean = false
 			}
 		}()
@@ -620,9 +807,13 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 		if !ok {
 			return true
 		}
+		if pr != nil {
+			pr.onReceive(1)
+		}
 		inHand = 1
+		sampleSvc := pr.sampleService()
 		var started time.Time
-		if usePace {
+		if usePace || sampleSvc {
 			started = time.Now()
 		}
 		if fl != nil {
@@ -633,11 +824,15 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 		if usePace {
 			pace.wait(started)
 		}
-		e.consumed[st.ID].Add(1)
+		if sampleSvc {
+			pr.onServe(started, 1)
+		}
+		e.st[st.ID].Consumed.Add(1)
 		inHand = 0
 		if len(st.Out) == 0 {
 			// Sink: results leave the system.
-			e.emitted[st.ID].Add(uint64(len(outs)))
+			e.st[st.ID].Emitted.Add(uint64(len(outs)))
+			pr.onEmit(len(outs))
 			if e.cfg.OnSink != nil {
 				for _, o := range outs {
 					e.cfg.OnSink(st.Op, o.tuple)
@@ -665,6 +860,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 	inbox := e.mailboxes[st.ID]
 	sink := len(st.Out) == 0
 	fl := e.stFaults[st.ID]
+	pr := e.newProbe(st.ID)
 	outBufs := make([][]operators.Tuple, len(st.Out))
 	for i := range outBufs {
 		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
@@ -679,7 +875,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			outBufs[i] = outBufs[i][:0]
 		}
 		if n > 0 {
-			e.abandoned[st.ID].Add(uint64(n))
+			e.st[st.ID].Abandoned.Add(uint64(n))
 		}
 	}
 	var batch []operators.Tuple
@@ -691,8 +887,8 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				// abandoned below); batch[k:] — the tuple in hand plus
 				// the unprocessed tail — died with the panic. The in-hand
 				// tuple's partial outputs in outs die with it.
-				e.consumed[st.ID].Add(uint64(len(batch)))
-				e.failed[st.ID].Add(uint64(len(batch) - k))
+				e.st[st.ID].Consumed.Add(uint64(len(batch)))
+				e.st[st.ID].Failed.Add(uint64(len(batch) - k))
 				abandonBufs(0)
 				clean = false
 			}
@@ -720,12 +916,15 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 		if !ok {
 			return true
 		}
+		if pr != nil {
+			pr.onReceive(len(batch))
+		}
 		if forwardWhole {
 			for i := range batch {
 				batch[i].Port = st.Out[0].Port
 			}
 			ok := e.sendManyFn(st.ID, 0, &st.Out[0], batch)
-			e.consumed[st.ID].Add(uint64(len(batch)))
+			e.st[st.ID].Consumed.Add(uint64(len(batch)))
 			if !ok {
 				// Shutdown mid-delivery; the unsent tail was accounted
 				// as abandoned by the send path.
@@ -733,6 +932,14 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			}
 			inbox.Recycle(batch)
 			continue
+		}
+		// Batch service episodes are subsampled like per-tuple ones: a
+		// fast-draining station receives many tiny batches, so reading
+		// the clock on every one would dominate the probe's cost.
+		sampleBatch := pr.sampleService()
+		var batchStart time.Time
+		if sampleBatch {
+			batchStart = time.Now()
 		}
 		for k = 0; k < len(batch); k++ {
 			tup := batch[k]
@@ -750,7 +957,8 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			}
 			if sink {
 				// Sink: results leave the system.
-				e.emitted[st.ID].Add(uint64(len(outs)))
+				e.st[st.ID].Emitted.Add(uint64(len(outs)))
+				pr.onEmit(len(outs))
 				if e.cfg.OnSink != nil {
 					for _, o := range outs {
 						e.cfg.OnSink(st.Op, o.tuple)
@@ -774,8 +982,8 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 						// failing buffer was already accounted by the
 						// send path.
 						outBufs[idx] = outBufs[idx][:0]
-						e.consumed[st.ID].Add(uint64(k + 1))
-						e.drained[st.ID].Add(uint64(len(batch) - k - 1))
+						e.st[st.ID].Consumed.Add(uint64(k + 1))
+						e.st[st.ID].Drained.Add(uint64(len(batch) - k - 1))
 						abandonBufs(len(outs) - oi - 1)
 						return true
 					}
@@ -783,7 +991,10 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				}
 			}
 		}
-		e.consumed[st.ID].Add(uint64(len(batch)))
+		e.st[st.ID].Consumed.Add(uint64(len(batch)))
+		if sampleBatch {
+			pr.onServe(batchStart, len(batch))
+		}
 		inbox.Recycle(batch)
 		batch, k = nil, 0
 		for idx := range outBufs {
@@ -810,6 +1021,7 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 		e.runSourceBatched(st, rng, usePace, pace)
 		return
 	}
+	pr := e.newProbe(st.ID)
 	one := make([]routed, 1)
 	for {
 		select {
@@ -817,15 +1029,19 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 			return
 		default:
 		}
+		sampleSvc := pr.sampleService()
 		var started time.Time
-		if usePace {
+		if usePace || sampleSvc {
 			started = time.Now()
 		}
 		tup := e.cfg.Generator.Next()
 		if usePace {
 			pace.wait(started)
 		}
-		e.consumed[st.ID].Add(1)
+		if sampleSvc {
+			pr.onServe(started, 1)
+		}
+		e.st[st.ID].Consumed.Add(1)
 		one[0] = routed{tuple: tup, dest: -1}
 		if !e.flush(st, one, rng, &rr) {
 			return
@@ -839,6 +1055,7 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 // feeds the pipeline promptly.
 func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool, pace *pacer) {
 	rr := 0
+	pr := e.newProbe(st.ID)
 	outBufs := make([][]operators.Tuple, len(st.Out))
 	for i := range outBufs {
 		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
@@ -854,7 +1071,7 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 			outBufs[i] = outBufs[i][:0]
 		}
 		if n > 0 {
-			e.abandoned[st.ID].Add(uint64(n))
+			e.st[st.ID].Abandoned.Add(uint64(n))
 		}
 	}
 	flushAll := func() bool {
@@ -881,15 +1098,19 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 			return
 		default:
 		}
+		sampleSvc := pr.sampleService()
 		var started time.Time
-		if usePace {
+		if usePace || sampleSvc {
 			started = time.Now()
 		}
 		tup := e.cfg.Generator.Next()
 		if usePace {
 			pace.wait(started)
 		}
-		e.consumed[st.ID].Add(1)
+		if sampleSvc {
+			pr.onServe(started, 1)
+		}
+		e.st[st.ID].Consumed.Add(1)
 		idx := e.pickEdge(st, routed{tuple: tup, dest: -1}, rng, &rr)
 		if idx < 0 {
 			continue
@@ -923,7 +1144,7 @@ func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int)
 		if !e.sendFn(st.ID, idx, edge, t) {
 			// The failing tuple was accounted by sendFn; the rest of
 			// this output set never reached a mailbox.
-			e.abandoned[st.ID].Add(uint64(len(outs) - i - 1))
+			e.st[st.ID].Abandoned.Add(uint64(len(outs) - i - 1))
 			return false
 		}
 	}

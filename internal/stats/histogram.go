@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-linear histogram of non-negative integer
+// values (HDR-histogram style). Each power-of-two octave is split into
+// 2^histSubBits linear sub-buckets, so the relative width of any bucket is
+// at most 1/2^(histSubBits-1) = 6.25%: quantile estimates (taken at bucket
+// midpoints) carry a worst-case relative error of half that bucket width
+// plus the midpoint bias, ~6.25% overall — the bound HistogramQuantileErr
+// documents and the tests in histogram_test.go enforce.
+//
+// Record and all read accessors are safe for concurrent use; readers see
+// some consistent-enough interleaving of concurrent writes (counts are
+// monotone, never torn). The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// histSubBits sets the linear resolution inside each octave: 2^5 = 32
+// sub-buckets, of which the upper 16 are distinct per octave (the lower 16
+// alias the previous octave).
+const histSubBits = 5
+
+// histHalf is the number of distinct sub-buckets contributed per octave
+// above the first.
+const histHalf = 1 << (histSubBits - 1)
+
+// histBuckets covers values up to 2^63-1: the first 2^histSubBits values
+// map to themselves, then each of the remaining 64-histSubBits octaves adds
+// histHalf buckets.
+const histBuckets = (1 << histSubBits) + (64-histSubBits)*histHalf
+
+// HistogramQuantileErr is the documented worst-case relative error of
+// Quantile on values >= 2^histSubBits (smaller values are exact): bucket
+// width / bucket lower bound = 1/histHalf.
+const HistogramQuantileErr = 1.0 / histHalf
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Uint64, histBuckets)}
+}
+
+// histIndex maps a value to its bucket index.
+func histIndex(v uint64) int {
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // top set bit; e >= histSubBits
+	sub := int(v>>(uint(e)-histSubBits+1)) - histHalf
+	return 1<<histSubBits + (e-histSubBits)*histHalf + sub
+}
+
+// histLower returns the smallest value mapping to bucket i.
+func histLower(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i)
+	}
+	i -= 1 << histSubBits
+	e := i/histHalf + histSubBits
+	sub := i % histHalf
+	return uint64(histHalf+sub) << (uint(e) - histSubBits + 1)
+}
+
+// histUpper returns one past the largest value mapping to bucket i.
+func histUpper(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i) + 1
+	}
+	return histLower(i + 1)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) { h.RecordN(v, 1) }
+
+// RecordN adds n identical observations (n == 0 is a no-op). Used by the
+// runtime's sampled instrumentation to account a whole micro-batch with a
+// single atomic round-trip.
+func (h *Histogram) RecordN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.counts[histIndex(v)].Add(n)
+	h.total.Add(n)
+	h.sum.Add(v * n)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the midpoint of the
+// bucket holding the ceil(q*n)-th observation; relative error is bounded by
+// HistogramQuantileErr for values >= 2^histSubBits and exact below.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			lo, hi := histLower(i), histUpper(i)
+			if hi <= lo { // top octave: histUpper overflowed uint64
+				return float64(h.max.Load())
+			}
+			return float64(lo+hi-1) / 2
+		}
+	}
+	return float64(h.max.Load())
+}
+
+// HistogramBucket is one populated bucket of a histogram snapshot.
+type HistogramBucket struct {
+	// Lower and Upper bound the bucket as the half-open interval
+	// [Lower, Upper).
+	Lower, Upper uint64
+	// Count is the number of observations in the bucket.
+	Count uint64
+}
+
+// Buckets returns the populated buckets in ascending value order.
+func (h *Histogram) Buckets() []HistogramBucket {
+	var out []HistogramBucket
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			out = append(out, HistogramBucket{Lower: histLower(i), Upper: histUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// HistogramSummary is a point-in-time digest of a histogram used by
+// snapshots and the metrics endpoints.
+type HistogramSummary struct {
+	Count         uint64  `json:"count"`
+	Sum           uint64  `json:"sum"`
+	Max           uint64  `json:"max"`
+	Mean          float64 `json:"mean"`
+	P50, P90, P99 float64 `json:"-"`
+	// Quantiles repeats P50/P90/P99 keyed for JSON stability.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Summary digests the histogram (quantiles estimated per Quantile).
+func (h *Histogram) Summary() HistogramSummary {
+	s := HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Quantiles = map[string]float64{"p50": s.P50, "p90": s.P90, "p99": s.P99}
+	}
+	return s
+}

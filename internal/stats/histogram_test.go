@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistIndexRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose [lower, upper) contains it.
+	probe := []uint64{0, 1, 2, 15, 31, 32, 33, 47, 48, 63, 64, 65, 100, 127, 128,
+		1000, 4095, 4096, 1 << 20, 1<<20 + 3, 1<<40 - 1, 1 << 40, 1<<62 + 12345}
+	for _, v := range probe {
+		i := histIndex(v)
+		lo, hi := histLower(i), histUpper(i)
+		if hi > lo && (v < lo || v >= hi) {
+			t.Fatalf("value %d mapped to bucket %d = [%d,%d)", v, i, lo, hi)
+		}
+	}
+	// Bucket boundaries must tile the value space without gaps or overlaps.
+	for i := 0; i < histBuckets-1; i++ {
+		if histUpper(i) != histLower(i+1) {
+			t.Fatalf("bucket %d upper %d != bucket %d lower %d", i, histUpper(i), i+1, histLower(i+1))
+		}
+	}
+	if histIndex(math.MaxUint64) >= histBuckets {
+		t.Fatalf("MaxUint64 index %d out of range %d", histIndex(math.MaxUint64), histBuckets)
+	}
+}
+
+func TestHistogramExactBelowOctave(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %v, want 0", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Fatalf("q1 = %v, want 31", got)
+	}
+	if got, want := h.Mean(), 15.5; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if h.Count() != 32 || h.Max() != 31 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+// TestHistogramQuantileError draws known distributions and asserts every
+// estimated quantile is within the documented HistogramQuantileErr bound of
+// the exact sample quantile.
+func TestHistogramQuantileError(t *testing.T) {
+	const n = 200000
+	rng := NewRNG(7)
+	cases := []struct {
+		name string
+		draw func() uint64
+	}{
+		{"uniform[0,1e6)", func() uint64 { return uint64(rng.Float64() * 1e6) }},
+		{"exponential(mean=50us)", func() uint64 { return uint64(rng.Exp(50000)) }},
+		{"lognormal(mu=10,sigma=1)", func() uint64 {
+			// Box-Muller from two uniforms.
+			u1, u2 := rng.Float64(), rng.Float64()
+			for u1 == 0 {
+				u1 = rng.Float64()
+			}
+			z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			return uint64(math.Exp(10 + z))
+		}},
+		{"bimodal(100|1e7)", func() uint64 {
+			if rng.Float64() < 0.5 {
+				return 100
+			}
+			return 10000000
+		}},
+	}
+	quantiles := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			sample := make([]float64, n)
+			var sum float64
+			for i := range sample {
+				v := tc.draw()
+				sample[i] = float64(v)
+				sum += float64(v)
+				h.Record(v)
+			}
+			sort.Float64s(sample)
+			for _, q := range quantiles {
+				exact := sample[int(math.Ceil(q*float64(n)))-1]
+				got := h.Quantile(q)
+				if exact >= 32 { // documented bound applies above the linear range
+					if err := RelErr(got, exact); err > HistogramQuantileErr {
+						t.Errorf("q%.3f: got %.0f exact %.0f rel err %.4f > %.4f",
+							q, got, exact, err, HistogramQuantileErr)
+					}
+				} else if got != exact {
+					t.Errorf("q%.3f: got %v, want exact %v", q, got, exact)
+				}
+			}
+			if err := RelErr(h.Mean(), sum/float64(n)); err > 1e-9 {
+				t.Errorf("mean: got %v want %v (histogram mean must be exact)", h.Mean(), sum/float64(n))
+			}
+		})
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := NewRNG(seed)
+			for i := 0; i < per; i++ {
+				h.Record(uint64(rng.Intn(100000)))
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var bucketSum uint64
+	for _, b := range h.Buckets() {
+		bucketSum += b.Count
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, workers*per)
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	h := NewHistogram()
+	h.RecordN(1000, 5)
+	h.RecordN(2000, 0) // no-op
+	if h.Count() != 5 || h.Sum() != 5000 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if err := RelErr(h.Quantile(0.5), 1000); err > HistogramQuantileErr {
+		t.Fatalf("median %v too far from 1000", h.Quantile(0.5))
+	}
+	s := h.Summary()
+	if s.Count != 5 || s.Mean != 1000 || s.Max != 1000 {
+		t.Fatalf("summary %+v", s)
+	}
+}

@@ -45,6 +45,7 @@ import (
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/faultinject"
+	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/qsim"
@@ -100,6 +101,18 @@ type (
 	Spec = operators.Spec
 	// Plan is a physical execution plan.
 	Plan = plan.Plan
+	// ObsRegistry is the per-station metrics registry; pass one via
+	// RunConfig.Obs to enable timed sampling, tracer hooks, the HTTP
+	// metrics endpoint and post-run snapshots.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time view of a registry.
+	ObsSnapshot = obs.Snapshot
+	// Tracer receives station lifecycle callbacks (receive, serve, emit,
+	// restart, degrade); register via ObsRegistry.AddTracer before the run.
+	Tracer = obs.Tracer
+	// DriftReport compares the cost model's predictions against a run's
+	// measured rates.
+	DriftReport = obs.DriftReport
 )
 
 // Operator kinds.
@@ -213,6 +226,21 @@ func ExecuteDistributed(ctx context.Context, t *Topology, replicas []int, bindin
 		return nil, err
 	}
 	return runtime.RunDistributed(ctx, p, binding, cfg)
+}
+
+// NewObsRegistry builds an empty metrics registry for RunConfig.Obs. The
+// runtime binds it to the physical plan at Run time; after (or during) a
+// run, Snapshot(), WritePrometheus, Serve and ComputeDrift read it.
+func NewObsRegistry() *ObsRegistry { return obs.New() }
+
+// ComputeDrift re-derives per-operator profiles from the registry's
+// measured steady-state window, re-runs the cost model on them, and
+// reports the relative error between predicted and measured departure
+// rates and utilizations — the measure → predict → verify loop of the
+// paper's workflow, closed on live data.
+// Replicas (from Optimize) may be nil for an unreplicated run.
+func ComputeDrift(t *Topology, replicas []int, r *ObsRegistry) (*DriftReport, error) {
+	return obs.Drift(t, replicas, r)
 }
 
 // BuildOperator constructs a catalog operator implementation.
