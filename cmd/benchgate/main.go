@@ -32,6 +32,36 @@ type record struct {
 	ObsOver   map[string]float64 `json:"obs_overhead"`
 }
 
+// optRecord mirrors the JSON written by BenchmarkSolverCacheAutoFuse in
+// internal/opt: how many steady-state solves a direct solver performs on
+// the autofuse workload versus how many the memoizing cache actually
+// computes. The ratio is structural (it depends on the candidate count,
+// not on wall clock), so unlike the throughput gate it is tight: the
+// optimizer claims at least a 2x reduction, and the gate holds it to
+// that.
+type optRecord struct {
+	Benchmark string  `json:"benchmark"`
+	Graphs    int     `json:"graphs"`
+	Direct    int     `json:"direct_solves"`
+	Cached    int     `json:"cached_solves"`
+	Ratio     float64 `json:"ratio"`
+}
+
+func loadOpt(path string) (*optRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r optRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Cached <= 0 || r.Direct <= 0 {
+		return nil, fmt.Errorf("%s: solve counts missing or non-positive", path)
+	}
+	return &r, nil
+}
+
 func load(path string) (*record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -52,8 +82,18 @@ func main() {
 	candidatePath := flag.String("candidate", "", "freshly measured record (required)")
 	maxRegression := flag.Float64("max-regression", 0.20, "max allowed fractional drop in batched throughput")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if candidate obs_overhead exceeds this fraction (0 disables)")
+	optBaselinePath := flag.String("opt-baseline", "BENCH_optimizer.json", "committed solver-cache baseline record")
+	optCandidatePath := flag.String("opt-candidate", "", "freshly measured solver-cache record (enables the optimizer gate)")
+	minOptRatio := flag.Float64("min-opt-ratio", 2.0, "min direct/cached solve ratio for the optimizer gate")
 	flag.Parse()
 
+	if *optCandidatePath != "" {
+		gateOptimizer(*optBaselinePath, *optCandidatePath, *minOptRatio)
+		if *candidatePath == "" {
+			fmt.Println("benchgate: ok")
+			return
+		}
+	}
 	if *candidatePath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
 		os.Exit(2)
@@ -122,4 +162,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// gateOptimizer enforces the solver-cache claim: the memoizing solver
+// must perform at least minRatio times fewer steady-state solves than a
+// direct solver on the autofuse workload. Exits non-zero on failure.
+func gateOptimizer(baselinePath, candidatePath string, minRatio float64) {
+	cand, err := loadOpt(candidatePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: opt candidate: %v\n", err)
+		os.Exit(2)
+	}
+	ratio := float64(cand.Direct) / float64(cand.Cached)
+	fmt.Printf("%-14s %d graphs: %d direct solves, %d cached solves, ratio %.2fx\n",
+		"solver-cache", cand.Graphs, cand.Direct, cand.Cached, ratio)
+	if base, err := loadOpt(baselinePath); err != nil {
+		// The baseline is informational for this gate (the ratio bound
+		// is absolute), so a missing one is reported but not fatal.
+		fmt.Fprintf(os.Stderr, "benchgate: opt baseline: %v (skipping comparison)\n", err)
+	} else {
+		baseRatio := float64(base.Direct) / float64(base.Cached)
+		fmt.Printf("%-14s baseline ratio %.2fx  candidate %+.1f%%\n",
+			"solver-cache", baseRatio, (ratio/baseRatio-1)*100)
+	}
+	if ratio < minRatio {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL solver-cache ratio %.2fx is below the required %.2fx\n",
+			ratio, minRatio)
+		os.Exit(1)
+	}
 }

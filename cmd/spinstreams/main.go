@@ -5,11 +5,11 @@
 // Usage:
 //
 //	spinstreams analyze    -in topo.xml
-//	spinstreams optimize   -in topo.xml [-out opt.xml] [-max-replicas N]
+//	spinstreams optimize   -in topo.xml [-out opt.xml] [-max-replicas N] [-fuse] [-trace-json trace.json] [-trace-dot trace.dot]
 //	spinstreams candidates -in topo.xml
 //	spinstreams fuse       -in topo.xml -members op3,op4,op5 [-name F] [-out fused.xml]
 //	spinstreams generate   -in topo.xml -out main.go [-members ...]
-//	spinstreams run        -in topo.xml [-duration 5s] [-replicas auto]
+//	spinstreams run        -in topo.xml [-duration 5s] [-replicas auto] [-drift] [-reoptimize]
 //	spinstreams simulate   -in topo.xml [-horizon 40]
 package main
 
@@ -29,6 +29,7 @@ import (
 	mbox "spinstreams/internal/mailbox"
 	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
+	"spinstreams/internal/opt"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/profiler"
 	"spinstreams/internal/qsim"
@@ -165,12 +166,45 @@ func cmdAnalyze(args []string) error {
 	return nil
 }
 
+// writeTrace exports a pipeline result's rewrite trace as JSON and/or a
+// DOT overlay of the final topology.
+func writeTrace(res *opt.Result, jsonPath, dotPath string) error {
+	if jsonPath != "" {
+		data, err := res.Trace.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (schema %s)\n", jsonPath, opt.TraceSchema)
+	}
+	if dotPath != "" {
+		f, err := os.Create(dotPath)
+		if err != nil {
+			return err
+		}
+		if err := dot.WriteOverlay(f, res, dot.Options{Name: "rewrite-overlay", RankLR: true}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dotPath)
+	}
+	return nil
+}
+
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
 	in := fs.String("in", "", "input topology XML")
-	out := fs.String("out", "", "write the optimized topology XML here")
+	out := fs.String("out", "", "write the optimized topology XML here (replica degrees included)")
 	maxReplicas := fs.Int("max-replicas", 0, "replica budget (0 = unbounded)")
 	emitter := fs.Duration("emitter-cost", 0, "emitter/collector service time for the saturation check")
+	fuse := fs.Bool("fuse", false, "also run the fusion pass after bottleneck elimination")
+	traceJSON := fs.String("trace-json", "", "write the structured rewrite trace (JSON) here")
+	traceDot := fs.String("trace-dot", "", "write the rewrite trace as an annotated DOT overlay here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,28 +212,38 @@ func cmdOptimize(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.EliminateBottlenecks(t, core.FissionOptions{
-		MaxReplicas:        *maxReplicas,
-		EmitterServiceTime: emitter.Seconds(),
+	res, err := opt.Run(t, opt.Options{
+		Fission: core.FissionOptions{
+			MaxReplicas:        *maxReplicas,
+			EmitterServiceTime: emitter.Seconds(),
+		},
+		DisableFusion: !*fuse,
 	})
 	if err != nil {
 		return err
 	}
-	printAnalysis(t, res.Analysis, true)
-	fmt.Printf("total replicas: %d (%d additional)\n", res.TotalReplicas, res.AdditionalReplicas)
-	if res.Capped {
+	fis := res.Fission
+	printAnalysis(t, fis.Analysis, true)
+	fmt.Printf("total replicas: %d (%d additional)\n", fis.TotalReplicas, fis.AdditionalReplicas)
+	if fis.Capped {
 		fmt.Println("replica budget capped the parallelization")
 	}
-	for _, u := range res.Unresolved {
+	for _, u := range fis.Unresolved {
 		fmt.Printf("unresolved bottleneck: %s (%s)\n", t.Op(u).Name, t.Op(u).Kind)
 	}
+	if *fuse && res.Fusion != nil {
+		for _, step := range res.Fusion.Steps {
+			fmt.Printf("fused {%s} -> %s (T=%.3f ms, rho=%.2f)\n",
+				strings.Join(step.MemberNames, ", "), step.FusedName, step.ServiceTime*1e3, step.Utilization)
+		}
+	}
 	if *out != "" {
-		if err := xmlio.WriteFile(*out, "optimized", t); err != nil {
+		if err := xmlio.WriteFileOptimized(*out, "optimized", res.Final.Topology(), res.Replicas()); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
-	return nil
+	return writeTrace(res, *traceJSON, *traceDot)
 }
 
 func cmdCandidates(args []string) error {
@@ -329,6 +373,8 @@ func cmdAutoFuse(args []string) error {
 	in := fs.String("in", "", "input topology XML")
 	out := fs.String("out", "", "write the fused topology XML here")
 	maxRho := fs.Float64("max-utilization", 0.9, "reject fusions whose meta-operator exceeds this utilization")
+	traceJSON := fs.String("trace-json", "", "write the structured rewrite trace (JSON) here")
+	traceDot := fs.String("trace-dot", "", "write the rewrite trace as an annotated DOT overlay here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -336,10 +382,14 @@ func cmdAutoFuse(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.AutoFuse(t, core.AutoFuseOptions{MaxUtilization: *maxRho})
+	pres, err := opt.Run(t, opt.Options{
+		Fusion:         core.AutoFuseOptions{MaxUtilization: *maxRho},
+		DisableFission: true,
+	})
 	if err != nil {
 		return err
 	}
+	res := pres.Fusion
 	for _, step := range res.Steps {
 		fmt.Printf("fused {%s} -> %s (T=%.3f ms, rho=%.2f)\n",
 			strings.Join(step.MemberNames, ", "), step.FusedName, step.ServiceTime*1e3, step.Utilization)
@@ -352,7 +402,7 @@ func cmdAutoFuse(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
-	return nil
+	return writeTrace(pres, *traceJSON, *traceDot)
 }
 
 func cmdProfile(args []string) error {
@@ -459,6 +509,7 @@ func cmdRun(args []string) error {
 	sendDeadline := fs.Duration("send-deadline", 0, "per-frame retry deadline for cross-node sends with -nodes > 1 (0 = default 2s, <0 = fail fast)")
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /snapshot JSON, /debug/vars expvar)")
 	drift := fs.Bool("drift", false, "after the run, compare the cost model's predictions against the measured rates")
+	reoptimize := fs.Bool("reoptimize", false, "after the run, re-run the optimizer on the measured profiles and print the delta plan")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -513,7 +564,7 @@ func cmdRun(args []string) error {
 		MaxRestarts: *maxRestarts,
 	}
 	var reg *obs.Registry
-	if *metricsAddr != "" || *drift {
+	if *metricsAddr != "" || *drift || *reoptimize {
 		reg = obs.New()
 		runCfg.Obs = reg
 	}
@@ -555,12 +606,22 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-28s departure %10.1f items/s (arrival %10.1f)\n",
 			t.Op(core.OpID(op)).Name, d, m.Arrival[op])
 	}
-	if *drift {
+	if *drift || *reoptimize {
 		rep, err := obs.Drift(t, replicas, reg)
 		if err != nil {
 			return fmt.Errorf("run: drift: %w", err)
 		}
-		fmt.Print(rep.String())
+		if *drift {
+			fmt.Print(rep.String())
+		}
+		if *reoptimize {
+			delta, err := opt.Reoptimize(opt.NewSnapshot(t), rep, opt.Options{})
+			if err != nil {
+				return fmt.Errorf("run: reoptimize: %w", err)
+			}
+			fmt.Println("re-optimization on measured profiles:")
+			fmt.Print(delta.String())
+		}
 	}
 	return nil
 }

@@ -251,3 +251,61 @@ func TestCLIAnalyzeLatency(t *testing.T) {
 		t.Errorf("latency output missing:\n%s", out)
 	}
 }
+
+// TestCLIOptimizeTrace pins the rewrite-trace exports: -trace-json emits
+// the schema-documented JSON trace and -trace-dot the annotated overlay.
+func TestCLIOptimizeTrace(t *testing.T) {
+	dir := t.TempDir()
+	jsonFile := filepath.Join(dir, "trace.json")
+	dotFile := filepath.Join(dir, "trace.dot")
+	outFile := filepath.Join(dir, "opt.xml")
+	out, err := capture(t, "optimize", "-in", writePaperTopology(t), "-fuse",
+		"-out", outFile, "-trace-json", jsonFile, "-trace-dot", dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"total replicas:", "fused {op3, op4, op5}", "wrote " + jsonFile} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "spinstreams/rewrite-trace/v1"`, `"action": "fuse"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace JSON missing %q:\n%s", want, data)
+		}
+	}
+	overlay, err := os.ReadFile(dotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "fused (round 1)", "predicted throughput:"} {
+		if !strings.Contains(string(overlay), want) {
+			t.Errorf("overlay missing %q:\n%s", want, overlay)
+		}
+	}
+	// The optimized XML round-trips with its fused meta-operator.
+	back, err := xmlio.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Lookup("fused1"); !ok {
+		t.Error("optimized XML lost the fused meta-operator")
+	}
+}
+
+// TestCLIRunReoptimize exercises run -reoptimize end to end: the drift
+// report feeds opt.Reoptimize and the delta plan is printed.
+func TestCLIRunReoptimize(t *testing.T) {
+	out, err := capture(t, "run", "-in", writePaperTopology(t),
+		"-duration", "600ms", "-warmup", "150ms", "-reoptimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "re-optimization on measured profiles:") {
+		t.Errorf("run output missing the delta plan:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@
 //	                                  table1 table2 keypart buffers latency
 //	ssbench -exp fig7live           # accuracy against the live goroutine runtime
 //	ssbench -exp drift              # predict→optimize→run→verify walkthrough (paper example)
+//	ssbench -exp reopt              # drift→reoptimize walkthrough (delta plan from measured profiles)
 //	ssbench -quick                  # smaller testbed, shorter horizon
 //	ssbench -csv out/               # also export each data series as CSV
 package main
@@ -36,7 +37,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift (live runs only with -exp fig7live / -exp drift)")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift, reopt (live runs only with -exp fig7live / -exp drift / -exp reopt)")
 	seed := flag.Uint64("seed", 42, "testbed seed")
 	topologies := flag.Int("topologies", 50, "testbed size")
 	horizon := flag.Float64("horizon", 40, "simulated seconds per measurement")
@@ -49,6 +50,7 @@ func run() error {
 	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
 	liveRestarts := flag.Int("max-restarts", 0, "fig7live: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
 	driftTable := flag.Int("drift-table", 2, "drift: paper-example service-time variant (1 or 2)")
+	reoptSlow := flag.Float64("reopt-slow", 3, "reopt: factor by which the deployed hot operator is slower than declared")
 	flag.Parse()
 	liveTransport, err := mailbox.ParseMode(*liveMailbox)
 	if err != nil {
@@ -175,6 +177,18 @@ func run() error {
 				variant = core.PaperExampleTable1
 			}
 			res, err := experiments.DriftDemo(context.Background(), variant, experiments.LiveOptions{
+				Duration:    *liveDuration,
+				Transport:   liveTransport,
+				Batch:       *liveBatch,
+				Linger:      *liveLinger,
+				MaxRestarts: *liveRestarts,
+			})
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "reopt":
+			res, err := experiments.ReoptimizeDemo(context.Background(), *reoptSlow, experiments.LiveOptions{
 				Duration:    *liveDuration,
 				Transport:   liveTransport,
 				Batch:       *liveBatch,

@@ -12,6 +12,7 @@ import (
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/operators"
+	"spinstreams/internal/opt"
 	"spinstreams/internal/randtopo"
 )
 
@@ -183,5 +184,58 @@ func TestGeneratedProgramBuildsAndRuns(t *testing.T) {
 				t.Errorf("%v output missing %q:\n%s", args, want, out)
 			}
 		}
+	}
+}
+
+// TestFromResult wires an optimizer pipeline result into an Input: the
+// final fused topology generates a valid program, and an all-ones
+// replica vector collapses to nil.
+func TestFromResult(t *testing.T) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	res, err := opt.Run(topo, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final.Topology()
+	if final.Len() >= topo.Len() {
+		t.Fatalf("expected fusion to shrink the topology (%d -> %d)", topo.Len(), final.Len())
+	}
+	specs := make([]operators.Spec, final.Len())
+	specs[0] = operators.Spec{Impl: "source"}
+	for i := 1; i < final.Len(); i++ {
+		specs[i] = operators.Spec{Impl: "identity"}
+	}
+	in := FromResult(res, specs)
+	if in.Topology != final {
+		t.Error("FromResult did not use the final topology")
+	}
+	if in.Replicas != nil {
+		t.Errorf("all-ones replicas should collapse to nil, got %v", in.Replicas)
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, in); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "package main") {
+		t.Error("generated program is not a main package")
+	}
+
+	// A replicated result carries its degrees through.
+	bott := core.NewTopology()
+	src := bott.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1e-3})
+	hot := bott.MustAddOperator(core.Operator{Name: "hot", Kind: core.KindStateless, ServiceTime: 4e-3})
+	snk := bott.MustAddOperator(core.Operator{Name: "snk", Kind: core.KindSink, ServiceTime: 1e-4})
+	bott.MustConnect(src, hot, 1)
+	bott.MustConnect(hot, snk, 1)
+	res2, err := opt.Run(bott, opt.Options{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := FromResult(res2, []operators.Spec{{Impl: "source"}, {Impl: "identity"}, {Impl: "identity"}})
+	if in2.Replicas == nil || in2.Replicas[1] != 4 {
+		t.Errorf("replicas = %v, want hot at 4", in2.Replicas)
+	}
+	if err := Generate(&buf, in2); err != nil {
+		t.Fatalf("generate replicated: %v", err)
 	}
 }

@@ -12,6 +12,35 @@ type AutoFuseOptions struct {
 	MaxRounds int
 	// NamePrefix names the generated meta-operators ("fusedN" by default).
 	NamePrefix string
+	// Trace, when non-nil, receives a callback for every candidate the
+	// process accepts or rejects. Purely observational: tracing never
+	// changes the outcome. The pass pipeline in internal/opt uses it to
+	// build rewrite traces.
+	Trace *FusionTrace
+}
+
+// FusionTrace observes the autofuse accept/reject loop. Any field may be
+// nil. Member operators are reported by name because IDs shift between
+// rounds.
+type FusionTrace struct {
+	// OnApply fires when a candidate is fused into the topology.
+	OnApply func(round int, step AutoFuseStep, report *FusionReport)
+	// OnReject fires when a candidate is skipped; utilization is the
+	// meta-operator's predicted utilization (0 when the rejection happened
+	// before it could be evaluated).
+	OnReject func(round int, memberNames []string, utilization float64, reason string)
+}
+
+func (tr *FusionTrace) apply(round int, step AutoFuseStep, report *FusionReport) {
+	if tr != nil && tr.OnApply != nil {
+		tr.OnApply(round, step, report)
+	}
+}
+
+func (tr *FusionTrace) reject(round int, memberNames []string, utilization float64, reason string) {
+	if tr != nil && tr.OnReject != nil {
+		tr.OnReject(round, memberNames, utilization, reason)
+	}
 }
 
 // AutoFuseStep records one applied fusion.
@@ -50,13 +79,26 @@ type AutoFuseResult struct {
 // semantically equivalent topology with fewer scheduling units and no new
 // bottleneck.
 func AutoFuse(t *Topology, opts AutoFuseOptions) (*AutoFuseResult, error) {
+	return AutoFuseWith(t, opts, DirectSolver{})
+}
+
+// AutoFuseWith is AutoFuse with every steady-state analysis routed through
+// solver. The accept/reject loop re-solves the current topology once per
+// round plus twice per candidate tried (before/after inside FuseWith); a
+// memoizing solver collapses the repeated "current topology" solves, which
+// is the win BenchmarkSolverCacheAutoFuse measures. AutoFuseWith with
+// DirectSolver is exactly AutoFuse.
+func AutoFuseWith(t *Topology, opts AutoFuseOptions, solver Solver) (*AutoFuseResult, error) {
+	if solver == nil {
+		solver = DirectSolver{}
+	}
 	if opts.MaxUtilization <= 0 || opts.MaxUtilization > 1 {
 		opts.MaxUtilization = 0.9
 	}
 	if opts.NamePrefix == "" {
 		opts.NamePrefix = "fused"
 	}
-	base, err := SteadyState(t)
+	base, err := solver.SteadyState(t)
 	if err != nil {
 		return nil, err
 	}
@@ -71,37 +113,46 @@ func AutoFuse(t *Topology, opts AutoFuseOptions) (*AutoFuseResult, error) {
 			break
 		}
 		cur := res.Topology
-		a, err := SteadyState(cur)
+		a, err := solver.SteadyState(cur)
 		if err != nil {
 			return nil, err
 		}
-		cands, err := FusionCandidates(cur, a)
+		cands, err := fusionCandidates(cur, a, func(members []OpID, rho float64) {
+			opts.Trace.reject(round, memberNames(cur, members), rho,
+				"fusing would introduce a bottleneck (alert)")
+		})
 		if err != nil {
 			return nil, err
 		}
 		applied := false
 		for _, c := range cands {
+			names := memberNames(cur, c.Members)
 			if c.FusedUtilization > opts.MaxUtilization {
+				opts.Trace.reject(round, names, c.FusedUtilization, "predicted utilization above threshold")
 				continue
 			}
 			name := fmt.Sprintf("%s%d", opts.NamePrefix, round+1)
-			fused, report, err := Fuse(cur, c.Members, name)
+			fused, report, err := FuseWith(cur, c.Members, name, solver)
 			if err != nil {
+				opts.Trace.reject(round, names, c.FusedUtilization, fmt.Sprintf("fusion failed: %v", err))
 				continue
 			}
-			if report.IntroducesBottleneck || report.ThroughputAfter < res.ThroughputBefore*(1-rhoTolerance) {
+			if report.IntroducesBottleneck {
+				opts.Trace.reject(round, names, report.After.Rho[report.FusedID], "meta-operator becomes a bottleneck")
 				continue
 			}
-			memberNames := make([]string, 0, len(c.Members))
-			for _, m := range c.Members {
-				memberNames = append(memberNames, cur.Op(m).Name)
+			if report.ThroughputAfter < res.ThroughputBefore*(1-rhoTolerance) {
+				opts.Trace.reject(round, names, report.After.Rho[report.FusedID], "predicted throughput degrades")
+				continue
 			}
-			res.Steps = append(res.Steps, AutoFuseStep{
-				MemberNames: memberNames,
+			step := AutoFuseStep{
+				MemberNames: names,
 				FusedName:   name,
 				ServiceTime: report.ServiceTime,
 				Utilization: report.After.Rho[report.FusedID],
-			})
+			}
+			opts.Trace.apply(round, step, report)
+			res.Steps = append(res.Steps, step)
 			res.Topology = fused
 			applied = true
 			round++
@@ -111,11 +162,19 @@ func AutoFuse(t *Topology, opts AutoFuseOptions) (*AutoFuseResult, error) {
 			break
 		}
 	}
-	final, err := SteadyState(res.Topology)
+	final, err := solver.SteadyState(res.Topology)
 	if err != nil {
 		return nil, err
 	}
 	res.ThroughputAfter = final.Throughput()
 	res.OperatorsAfter = res.Topology.Len()
 	return res, nil
+}
+
+func memberNames(t *Topology, members []OpID) []string {
+	names := make([]string, 0, len(members))
+	for _, m := range members {
+		names = append(names, t.Op(m).Name)
+	}
+	return names
 }

@@ -23,6 +23,45 @@ type FissionOptions struct {
 	// at 1/EmitterServiceTime items per second. Replication degrees are
 	// capped so the emitter never becomes the new bottleneck.
 	EmitterServiceTime float64
+	// Trace, when non-nil, receives a callback for every restructuring
+	// decision the pass takes. Purely observational: tracing never changes
+	// the outcome. The pass pipeline in internal/opt uses it to build
+	// rewrite traces; source corrections are reported separately through
+	// Analysis.Corrections.
+	Trace *FissionTrace
+}
+
+// FissionTrace observes Algorithm 2's per-vertex decisions. Any field may
+// be nil.
+type FissionTrace struct {
+	// OnFission fires when a saturated vertex is parallelized: rho is its
+	// utilization at discovery, replicas the chosen degree, pmax the most
+	// loaded replica's input share (partitioned-stateful only, else 0).
+	OnFission func(v OpID, rho float64, replicas int, pmax float64)
+	// OnReject fires when a saturated vertex cannot be (further)
+	// parallelized and the source rate will be corrected instead.
+	OnReject func(v OpID, rho float64, reason string)
+	// OnBudget fires per vertex whose degree the hold-off replica budget
+	// reduced (from -> to).
+	OnBudget func(v OpID, from, to int)
+}
+
+func (tr *FissionTrace) fission(v OpID, rho float64, replicas int, pmax float64) {
+	if tr != nil && tr.OnFission != nil {
+		tr.OnFission(v, rho, replicas, pmax)
+	}
+}
+
+func (tr *FissionTrace) reject(v OpID, rho float64, reason string) {
+	if tr != nil && tr.OnReject != nil {
+		tr.OnReject(v, rho, reason)
+	}
+}
+
+func (tr *FissionTrace) budget(v OpID, from, to int) {
+	if tr != nil && tr.OnBudget != nil && from != to {
+		tr.OnBudget(v, from, to)
+	}
 }
 
 // FissionResult is the outcome of bottleneck elimination.
@@ -143,36 +182,43 @@ func SteadyStateWithReplicas(t *Topology, replicas []int, part keypart.Partition
 func (res *FissionResult) tryFission(t *Topology, v OpID, lambda float64, part keypart.Partitioner, opts FissionOptions) bool {
 	a := res.Analysis
 	op := t.Op(v)
+	rho := lambda / op.Rate()
 	if a.Replicas[v] > 1 {
 		// Already parallelized as far as this operator allows.
+		opts.Trace.reject(v, lambda/a.capacity(t, v), "already replicated to its limit")
 		return false
 	}
-	rho := lambda / op.Rate()
 	switch op.Kind {
 	case KindStateless:
 		n := optimalDegree(rho)
 		n = capDegree(n, lambda, opts)
 		if n <= 1 {
+			opts.Trace.reject(v, rho, "emitter saturation caps the replication degree at 1")
 			return false
 		}
 		a.Replicas[v] = n
+		opts.Trace.fission(v, rho, n, 0)
 		return true
 	case KindPartitionedStateful:
 		nopt := optimalDegree(rho)
 		nopt = capDegree(nopt, lambda, opts)
 		if nopt <= 1 {
+			opts.Trace.reject(v, rho, "emitter saturation caps the replication degree at 1")
 			return false
 		}
 		asg, err := part.Partition(op.Keys.Freq, nopt)
 		if err != nil || asg.Replicas <= 1 {
+			opts.Trace.reject(v, rho, "key skew prevents an effective split")
 			return false
 		}
 		a.Replicas[v] = asg.Replicas
 		a.PMax[v] = asg.PMax
+		opts.Trace.fission(v, rho, asg.Replicas, asg.PMax)
 		return true
 	default:
 		// Source, sink and monolithic stateful operators cannot be
 		// replicated (Algorithm 2 line 24).
+		opts.Trace.reject(v, rho, fmt.Sprintf("%s operator cannot be replicated", op.Kind))
 		return false
 	}
 }
@@ -257,6 +303,9 @@ func (res *FissionResult) applyBudget(t *Topology, order []OpID, opts FissionOpt
 		}
 		budgeted[best]--
 		newTotal--
+	}
+	for i, m := range budgeted {
+		opts.Trace.budget(OpID(i), a.Replicas[i], m)
 	}
 
 	// Re-run the steady-state propagation with the degrees pinned: any

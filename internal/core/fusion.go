@@ -255,11 +255,22 @@ func FusionServiceTimeByPaths(t *Topology, members []OpID, front OpID) float64 {
 // names in topological order so code generation can reconstruct the
 // internal routing (Algorithm 4).
 func Fuse(t *Topology, members []OpID, name string) (*Topology, *FusionReport, error) {
+	return FuseWith(t, members, name, DirectSolver{})
+}
+
+// FuseWith is Fuse with the steady-state analyses routed through solver,
+// so a memoizing solver (internal/opt) can avoid re-solving the unchanged
+// "before" topology across many candidate evaluations. FuseWith with
+// DirectSolver is exactly Fuse.
+func FuseWith(t *Topology, members []OpID, name string, solver Solver) (*Topology, *FusionReport, error) {
+	if solver == nil {
+		solver = DirectSolver{}
+	}
 	front, err := ValidateSubgraph(t, members)
 	if err != nil {
 		return nil, nil, err
 	}
-	before, err := SteadyState(t)
+	before, err := solver.SteadyState(t)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -348,7 +359,7 @@ func Fuse(t *Topology, members []OpID, name string) (*Topology, *FusionReport, e
 		}
 	}
 
-	after, err := SteadyState(fused)
+	after, err := solver.SteadyState(fused)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fuse: analysis of fused topology: %w", err)
 	}
@@ -394,6 +405,13 @@ type FusionCandidate struct {
 // are returned, ranked by the meta-operator's utilization so the most
 // underutilized regions come first.
 func FusionCandidates(t *Topology, a *Analysis) ([]FusionCandidate, error) {
+	return fusionCandidates(t, a, nil)
+}
+
+// fusionCandidates is FusionCandidates with an optional callback fired
+// for dominated subgraphs discarded because the meta-operator would
+// saturate — the paper's "alert" case, surfaced to rewrite traces.
+func fusionCandidates(t *Topology, a *Analysis, onBottleneck func(members []OpID, rho float64)) ([]FusionCandidate, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -428,7 +446,11 @@ func FusionCandidates(t *Topology, a *Analysis) ([]FusionCandidate, error) {
 		}
 		rho := a.Lambda[front] * st
 		if rho > 1 {
-			continue // would introduce a bottleneck
+			// Would introduce a bottleneck.
+			if onBottleneck != nil {
+				onBottleneck(members, rho)
+			}
+			continue
 		}
 		cands = append(cands, FusionCandidate{
 			Members:          members,

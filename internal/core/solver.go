@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"spinstreams/internal/keypart"
+)
+
+// Solver abstracts the steady-state analysis entry points so drivers that
+// re-solve many closely related topologies (the autofuse accept/reject
+// loop, the pass pipeline in internal/opt) can interpose a memoizing
+// implementation keyed by Topology.Fingerprint. The contract mirrors the
+// package-level functions exactly: a Solver must return the same Analysis
+// SteadyState / SteadyStateWithReplicas would, and callers must treat the
+// returned Analysis as immutable (a caching solver hands the same pointer
+// to every caller with the same inputs).
+type Solver interface {
+	// SteadyState is Algorithm 1 on t (all replication degrees one).
+	SteadyState(t *Topology) (*Analysis, error)
+	// SteadyStateWithReplicas is the replica-pinned variant; part nil
+	// selects keypart.Greedy.
+	SteadyStateWithReplicas(t *Topology, replicas []int, part keypart.Partitioner) (*Analysis, error)
+}
+
+// DirectSolver is the identity Solver: every call runs the full analysis.
+// It is the default wired into the classic entry points (Fuse, AutoFuse),
+// which keeps their behavior bit-identical to the pre-pipeline tool.
+type DirectSolver struct{}
+
+// SteadyState implements Solver.
+func (DirectSolver) SteadyState(t *Topology) (*Analysis, error) { return SteadyState(t) }
+
+// SteadyStateWithReplicas implements Solver.
+func (DirectSolver) SteadyStateWithReplicas(t *Topology, replicas []int, part keypart.Partitioner) (*Analysis, error) {
+	return SteadyStateWithReplicas(t, replicas, part)
+}
+
+// Fingerprint reduces the topology to a 64-bit FNV-1a hash of its complete
+// profile: operator names, kinds, exact service-time and selectivity bits,
+// key-frequency distributions, implementation references, fused-member
+// lists, and every edge with its exact routing probability. Two topologies
+// with equal fingerprints produce identical analyses (modulo hash
+// collisions), which is what the solver cache in internal/opt keys on.
+func (t *Topology) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wU64(math.Float64bits(v)) }
+	wStr := func(s string) {
+		wU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wU64(uint64(t.Len()))
+	for i := range t.ops {
+		op := &t.ops[i]
+		wStr(op.Name)
+		wU64(uint64(op.Kind))
+		wF64(op.ServiceTime)
+		wF64(op.InputSelectivity)
+		wF64(op.OutputSelectivity)
+		wStr(op.Impl)
+		if op.Keys != nil {
+			wU64(uint64(len(op.Keys.Freq)))
+			for _, f := range op.Keys.Freq {
+				wF64(f)
+			}
+		} else {
+			wU64(0)
+		}
+		wU64(uint64(len(op.Fused)))
+		for _, name := range op.Fused {
+			wStr(name)
+		}
+		wU64(uint64(len(t.out[i])))
+		for _, e := range t.out[i] {
+			wU64(uint64(e.To))
+			wF64(e.Prob)
+		}
+	}
+	return h.Sum64()
+}

@@ -41,6 +41,24 @@ type Analysis struct {
 	// Restarts counts how many times the traversal was restarted after a
 	// source correction; a measure of the algorithm's work.
 	Restarts int
+	// Corrections records every Theorem 3.2 source correction in discovery
+	// order: which saturated vertex forced it, its utilization at that
+	// moment (the correction divides the source departure rate by this
+	// factor) and the corrected source rate. Populated by the restart-based
+	// traversal (SteadyState, SteadyStateWithReplicas, the fission pass);
+	// the single-pass ablation variants leave it nil.
+	Corrections []Correction
+}
+
+// Correction is one Theorem 3.2 source-rate correction.
+type Correction struct {
+	// Op is the saturated vertex that forced the correction.
+	Op OpID
+	// Rho is the vertex's utilization when discovered; the source departure
+	// rate is divided by it.
+	Rho float64
+	// SourceRate is the corrected source departure rate after this step.
+	SourceRate float64
 }
 
 // Throughput returns the topology throughput at steady state, defined as in
@@ -187,6 +205,7 @@ func (a *Analysis) propagate(t *Topology, order []OpID, onBottleneck func(v OpID
 	a.Lambda[src] = srcOp.Rate()
 	a.Limiting = a.Limiting[:0]
 	a.Restarts = 0
+	a.Corrections = a.Corrections[:0]
 	// Each source correction permanently pins one vertex at utilization 1,
 	// so at most |V| restarts occur; guard against float pathologies.
 	maxRestarts := t.Len() + 1
@@ -222,6 +241,7 @@ func (a *Analysis) propagate(t *Topology, order []OpID, onBottleneck func(v OpID
 		a.Rho[src] = delta1 / (srcOp.Rate() * srcOp.Gain())
 		a.Lambda[src] = delta1 / srcOp.Gain()
 		a.noteLimiting(v)
+		a.Corrections = append(a.Corrections, Correction{Op: v, Rho: rho, SourceRate: delta1})
 		i = 1
 	}
 	return nil

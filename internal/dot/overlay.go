@@ -1,0 +1,143 @@
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/opt"
+)
+
+// WriteOverlay renders an optimizer result as an annotated DOT overlay of
+// its final topology: nodes carry the chosen replication degrees and the
+// final utilization heat, fused meta-operators are drawn as double-border
+// records listing their members, operators that forced a Theorem 3.2
+// source correction or resisted fission are flagged with the reason, and
+// the graph label summarizes the predicted throughput movement. The
+// rewrite trace drives the annotations, so the overlay shows *decisions*,
+// not just the resulting graph.
+func WriteOverlay(w io.Writer, res *opt.Result, opts Options) error {
+	t := res.Final.Topology()
+	if err := t.ValidateCyclic(); err != nil {
+		return err
+	}
+	a := res.Analysis
+	replicas := res.Replicas()
+
+	// Index trace decisions by operator name (IDs shift across fusion).
+	type decor struct {
+		fissionRho  float64 // utilization that triggered fission
+		rejected    string  // why fission could not unblock it
+		budgetFrom  int     // pre-budget degree (0 = untrimmed)
+		fusedRound  int     // autofuse round that created this meta-op
+		corrections int     // Theorem 3.2 corrections it forced
+	}
+	decors := map[string]*decor{}
+	at := func(name string) *decor {
+		d, ok := decors[name]
+		if !ok {
+			d = &decor{}
+			decors[name] = d
+		}
+		return d
+	}
+	for _, p := range res.Trace.Passes {
+		for _, s := range p.Steps {
+			switch s.Action {
+			case opt.StepSourceCorrection:
+				at(s.Operator).corrections++
+			case opt.StepFission:
+				at(s.Operator).fissionRho = s.Rho
+			case opt.StepFissionReject:
+				at(s.Operator).rejected = s.Reason
+			case opt.StepReplicaBudget:
+				at(s.Operator).budgetFrom = s.FromReplicas
+			case opt.StepFuse:
+				at(s.Operator).fusedRound = s.Round
+			}
+		}
+	}
+
+	limiting := map[core.OpID]bool{}
+	for _, v := range a.Limiting {
+		limiting[v] = true
+	}
+
+	var b strings.Builder
+	name := opts.Name
+	if name == "" {
+		name = "rewrite-overlay"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	if opts.RankLR {
+		b.WriteString("  rankdir=LR;\n")
+	}
+	fmt.Fprintf(&b, "  label=\"%s\\npredicted throughput: %.1f -> %.1f t/s (trace %s)\";\n",
+		escape(name), res.Trace.ThroughputBefore, res.Trace.ThroughputAfter, res.Trace.Fingerprint)
+	b.WriteString("  labelloc=t;\n")
+	b.WriteString("  node [shape=box, style=\"rounded,filled\", fontname=\"Helvetica\"];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")
+
+	for i := 0; i < t.Len(); i++ {
+		id := core.OpID(i)
+		op := t.Op(id)
+		d := decors[op.Name]
+		label := fmt.Sprintf("%s\\n%s, T=%s", escape(op.Name), op.Kind, formatServiceTime(op.ServiceTime))
+		label += fmt.Sprintf("\\nrho=%.2f, out=%.1f/s", a.Rho[i], a.Delta[i])
+		if n := replicas[i]; n > 1 {
+			line := fmt.Sprintf("\\nx%d replicas", n)
+			if d != nil && d.fissionRho > 0 {
+				line += fmt.Sprintf(" (was rho=%.2f)", d.fissionRho)
+			}
+			if a.PMax[i] > 0 {
+				line += fmt.Sprintf(", pmax=%.2f", a.PMax[i])
+			}
+			label += line
+		}
+		var attrs []string
+		if d != nil {
+			if d.budgetFrom > 0 {
+				label += fmt.Sprintf("\\nbudget-trimmed from x%d", d.budgetFrom)
+			}
+			if d.fusedRound > 0 {
+				label += fmt.Sprintf("\\nfused (round %d): %s", d.fusedRound, escape(strings.Join(op.Fused, "+")))
+				attrs = append(attrs, "peripheries=2")
+			}
+			if d.corrections > 0 {
+				label += fmt.Sprintf("\\nforced %d source correction(s)", d.corrections)
+			}
+			if d.rejected != "" && limiting[id] {
+				label += fmt.Sprintf("\\nunresolved: %s", escape(d.rejected))
+			}
+		} else if len(op.Fused) > 0 {
+			// Fused before this run (e.g. a re-optimized deployment).
+			label += fmt.Sprintf("\\nfused: %s", escape(strings.Join(op.Fused, "+")))
+			attrs = append(attrs, "peripheries=2")
+		}
+		if limiting[id] {
+			attrs = append(attrs, "penwidth=2", "color=\"#b30000\"")
+		}
+		attrs = append([]string{
+			fmt.Sprintf("label=\"%s\"", label),
+			fmt.Sprintf("fillcolor=\"%s\"", heat(a.Rho[i])),
+		}, attrs...)
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+	for i := 0; i < t.Len(); i++ {
+		for _, e := range t.Out(core.OpID(i)) {
+			if e.Prob == 1 {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Prob)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	return strings.NewReplacer(`"`, `\"`, `\`, `\\`).Replace(s)
+}

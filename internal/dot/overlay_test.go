@@ -1,0 +1,82 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/opt"
+	"spinstreams/internal/randtopo"
+)
+
+func TestWriteOverlayPaperExample(t *testing.T) {
+	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
+	res, err := opt.Run(topo, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOverlay(&buf, res, Options{Name: "paper", RankLR: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"paper\"",
+		"rankdir=LR",
+		"predicted throughput:",
+		"fused (round 1): op3+op4+op5",
+		"peripheries=2",
+		"rho=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overlay lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteOverlayReplicasAndBottlenecks(t *testing.T) {
+	// Seed 42 fissions several operators and leaves bottlenecks resolved;
+	// check replica annotations and the fission trigger rho.
+	g, err := randtopo.Generate(randtopo.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run(g.Topology, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOverlay(&buf, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "replicas (was rho=") {
+		t.Errorf("overlay lacks the fission annotation:\n%s", out)
+	}
+	// A stateful bottleneck: pin the unresolved/limiting rendering.
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "source", Kind: core.KindSource, ServiceTime: 1e-3})
+	heavy := topo.MustAddOperator(core.Operator{Name: "heavy", Kind: core.KindStateful, ServiceTime: 4e-3})
+	sink := topo.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 1e-4})
+	topo.MustConnect(src, heavy, 1)
+	topo.MustConnect(heavy, sink, 1)
+	res2, err := opt.Run(topo, opt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteOverlay(&buf, res2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "unresolved: stateful operator cannot be replicated") {
+		t.Errorf("overlay lacks the unresolved-bottleneck reason:\n%s", out)
+	}
+	if !strings.Contains(out, "penwidth=2") {
+		t.Errorf("limiting operator not highlighted:\n%s", out)
+	}
+	if !strings.Contains(out, "source correction(s)") {
+		t.Errorf("overlay lacks the source-correction note:\n%s", out)
+	}
+}

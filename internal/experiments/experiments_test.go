@@ -404,3 +404,39 @@ func TestShedding(t *testing.T) {
 		t.Error("String() incomplete")
 	}
 }
+
+// TestReoptimizeDemo runs the drift→reoptimize walkthrough: the map
+// operator deployed 3x slower than declared must come back from the
+// measured profiles with a replica increase.
+func TestReoptimizeDemo(t *testing.T) {
+	res, err := ReoptimizeDemo(context.Background(), 3, LiveOptions{
+		Duration: 1200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.Empty() {
+		t.Fatalf("expected a non-empty delta plan:\n%s", res.String())
+	}
+	found := false
+	for _, c := range res.Delta.Changes {
+		if c.Operator == "map" {
+			found = true
+			if c.From != 1 || c.To < 2 {
+				t.Errorf("map replica change %d -> %d, want 1 -> >=2", c.From, c.To)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("delta plan misses the drifted operator:\n%s", res.Delta.String())
+	}
+	rows := res.TableRows()
+	if len(rows) != 3 || len(rows[0]) != len(res.Header()) {
+		t.Fatalf("tabular shape %dx%d", len(rows), len(rows[0]))
+	}
+	for _, want := range []string{"Reoptimize walkthrough", "delta plan from measured profiles:", "replicas"} {
+		if !strings.Contains(res.String(), want) {
+			t.Errorf("walkthrough missing %q:\n%s", want, res.String())
+		}
+	}
+}

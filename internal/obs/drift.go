@@ -226,6 +226,14 @@ type DriftReport struct {
 	Reanalyzed            *core.Analysis
 	RepredictedThroughput float64
 	RepredictionErr       float64
+	// MeasuredProfiles are the per-operator profiles rebuilt from the
+	// end-of-window snapshot (nil when no snapshot was supplied). They are
+	// what opt.Reoptimize substitutes into the topology before re-running
+	// the optimizer.
+	MeasuredProfiles []profiler.Profile
+	// Replicas are the replication degrees the prediction (and the live
+	// run) used; nil means all ones.
+	Replicas []int
 	// Seconds is the measurement window.
 	Seconds float64
 }
@@ -280,7 +288,11 @@ func DriftFrom(t *core.Topology, replicas []int, m *MeasuredRates, snap *Snapsho
 		PredictedThroughput: a.Throughput(),
 		MeasuredThroughput:  m.Throughput,
 		ThroughputErr:       stats.RelErr(m.Throughput, a.Throughput()),
+		MeasuredProfiles:    profiles,
 		Seconds:             m.Seconds,
+	}
+	if replicas != nil {
+		rep.Replicas = append([]int(nil), replicas...)
 	}
 	limiting := make(map[core.OpID]bool, len(a.Limiting))
 	for _, id := range a.Limiting {

@@ -1,0 +1,122 @@
+package opt
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/keypart"
+)
+
+// CacheStats counts solver-cache traffic. Lookups is the number of
+// steady-state solves the computation demanded; Misses is how many the
+// cache actually ran. Lookups/Misses is therefore the solve-reduction
+// factor a direct (uncached) solver would have paid, which is what the
+// optimizer benchmark gates on.
+type CacheStats struct {
+	Lookups int `json:"lookups"`
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+}
+
+// Ratio returns Lookups/Misses (1 when nothing was cached).
+func (s CacheStats) Ratio() float64 {
+	if s.Misses == 0 {
+		return 1
+	}
+	return float64(s.Lookups) / float64(s.Misses)
+}
+
+// SolverCache memoizes steady-state analyses keyed by topology
+// fingerprint (plus the pinned replication degrees for the replica-aware
+// variant). It implements core.Solver, so the classic drivers
+// (core.AutoFuseWith, core.FuseWith) can be pointed at it unchanged.
+//
+// Two caveats follow from the keying:
+//
+//   - Cached *core.Analysis values are shared: every caller with the same
+//     inputs receives the same pointer and must treat it as immutable.
+//     All core drivers already do.
+//
+//   - The replica-aware key does not include the partitioner, so one
+//     cache instance must only ever see one partitioner (the pipeline
+//     constructs a fresh cache per run and threads its single configured
+//     partitioner everywhere, satisfying this by construction).
+type SolverCache struct {
+	mu     sync.Mutex
+	plain  map[uint64]*core.Analysis
+	pinned map[string]*core.Analysis
+	stats  CacheStats
+}
+
+// NewSolverCache returns an empty cache.
+func NewSolverCache() *SolverCache {
+	return &SolverCache{
+		plain:  make(map[uint64]*core.Analysis),
+		pinned: make(map[string]*core.Analysis),
+	}
+}
+
+// SteadyState implements core.Solver: Algorithm 1 memoized by topology
+// fingerprint.
+func (c *SolverCache) SteadyState(t *core.Topology) (*core.Analysis, error) {
+	fp := t.Fingerprint()
+	c.mu.Lock()
+	c.stats.Lookups++
+	if a, ok := c.plain[fp]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return a, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	a, err := core.SteadyState(t)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.plain[fp] = a
+	c.mu.Unlock()
+	return a, nil
+}
+
+// SteadyStateWithReplicas implements core.Solver, memoized by fingerprint
+// plus the replica vector.
+func (c *SolverCache) SteadyStateWithReplicas(t *core.Topology, replicas []int, part keypart.Partitioner) (*core.Analysis, error) {
+	key := pinnedKey(t.Fingerprint(), replicas)
+	c.mu.Lock()
+	c.stats.Lookups++
+	if a, ok := c.pinned[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return a, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	a, err := core.SteadyStateWithReplicas(t, replicas, part)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.pinned[key] = a
+	c.mu.Unlock()
+	return a, nil
+}
+
+// Stats returns a copy of the traffic counters.
+func (c *SolverCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func pinnedKey(fp uint64, replicas []int) string {
+	buf := make([]byte, 8+8*len(replicas))
+	binary.LittleEndian.PutUint64(buf, fp)
+	for i, n := range replicas {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], uint64(n))
+	}
+	return string(buf)
+}

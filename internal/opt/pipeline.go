@@ -1,0 +1,178 @@
+package opt
+
+import (
+	"fmt"
+
+	"spinstreams/internal/core"
+)
+
+// Options configures one pipeline run.
+type Options struct {
+	// Fission tunes the bottleneck-elimination pass. Its Trace field is
+	// owned by the pipeline and overwritten.
+	Fission core.FissionOptions
+	// Fusion tunes the automatic fusion pass. Its Trace field is owned
+	// by the pipeline and overwritten.
+	Fusion core.AutoFuseOptions
+	// DisableFission / DisableFusion drop the respective pass, matching
+	// the classic single-purpose CLI commands (`optimize` = fission
+	// only, `autofuse` = fusion only).
+	DisableFission bool
+	DisableFusion  bool
+	// Shedding adds the load-shedding evaluation pass.
+	Shedding bool
+	// LatencyModel, when non-zero, adds the latency-estimation pass;
+	// BufferCapacity is its saturated-operator buffer bound (0 = default).
+	LatencyModel   core.LatencyModel
+	BufferCapacity int
+	// AllowCycles analyzes cyclic topologies with the fixed-point solver
+	// instead of failing; the restructuring passes skip them.
+	AllowCycles bool
+}
+
+// Result is everything one pipeline run produced.
+type Result struct {
+	// Input and Final are the snapshots before and after restructuring;
+	// they are the same snapshot when no fusion was applied.
+	Input, Final *Snapshot
+	// Baseline is Algorithm 1 (or the cyclic solver) on the input.
+	Baseline *core.Analysis
+	// Fission is the bottleneck-elimination outcome; nil when the pass
+	// was disabled or skipped. Its replica degrees index the *input*
+	// topology — use Replicas() for degrees aligned with Final.
+	Fission *core.FissionResult
+	// Fusion is the automatic-fusion outcome; nil when disabled/skipped.
+	Fusion *core.AutoFuseResult
+	// Analysis is the final topology under the chosen replication
+	// degrees: the pipeline's headline prediction.
+	Analysis *core.Analysis
+	// Shedding and Latency are the optional evaluation passes' outputs.
+	Shedding *core.SheddingAnalysis
+	Latency  *core.LatencyEstimate
+	// Trace is the rewrite provenance.
+	Trace *Trace
+	// CacheStats reports the solver cache's traffic for this run.
+	CacheStats CacheStats
+	// Cyclic marks runs analyzed with the fixed-point solver.
+	Cyclic bool
+
+	replicas []int
+}
+
+// Replicas returns the replication degree per operator of the Final
+// topology: fission degrees carried over by name for operators that
+// survived fusion, one for fused meta-operators (the paper forbids
+// replicating them). The returned slice is shared; do not modify.
+func (r *Result) Replicas() []int { return r.replicas }
+
+// Throughput is the final predicted topology throughput.
+func (r *Result) Throughput() float64 { return r.Analysis.Throughput() }
+
+// Pipeline is an ordered list of passes over a shared snapshot.
+type Pipeline struct {
+	Opts   Options
+	Passes []Pass
+}
+
+// New builds the default pipeline for opts: analyze, fission, fusion,
+// then the optional shedding and latency evaluation passes. The order is
+// pinned (see the package comment); construct a Pipeline literal to
+// deviate.
+func New(opts Options) *Pipeline {
+	p := &Pipeline{Opts: opts}
+	p.Passes = append(p.Passes, AnalyzePass{})
+	if !opts.DisableFission {
+		p.Passes = append(p.Passes, FissionPass{})
+	}
+	if !opts.DisableFusion {
+		p.Passes = append(p.Passes, FusionPass{})
+	}
+	if opts.Shedding {
+		p.Passes = append(p.Passes, SheddingPass{})
+	}
+	if opts.LatencyModel != 0 {
+		p.Passes = append(p.Passes, LatencyPass{})
+	}
+	return p
+}
+
+// Run executes the default pipeline on t.
+func Run(t *core.Topology, opts Options) (*Result, error) {
+	return New(opts).Run(t)
+}
+
+// Run executes the pipeline on a snapshot of t.
+func (p *Pipeline) Run(t *core.Topology) (*Result, error) {
+	if len(p.Passes) == 0 || p.Passes[0].Name() != "analyze" {
+		return nil, fmt.Errorf("opt: pipeline must start with the analyze pass")
+	}
+	snap := NewSnapshot(t)
+	ctx := &Context{
+		Opts:   p.Opts,
+		Cache:  NewSolverCache(),
+		Result: &Result{Input: snap},
+		Trace:  newTrace(snap),
+	}
+	ctx.Result.Trace = ctx.Trace
+
+	cur := snap
+	var err error
+	for _, pass := range p.Passes {
+		cur, err = pass.Run(ctx, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.ensureFinal(cur); err != nil {
+		return nil, err
+	}
+	ctx.Result.Final = cur
+	ctx.Result.CacheStats = ctx.Cache.Stats()
+	ctx.Trace.ThroughputAfter = ctx.Result.Analysis.Throughput()
+	return ctx.Result, nil
+}
+
+// ensureFinal computes, once, the final replica mapping and the final
+// analysis for the current snapshot. Fission degrees index the input
+// topology; survivors are matched to the final topology by name (fusion
+// preserves survivor names), and meta-operators get degree one.
+func (ctx *Context) ensureFinal(cur *Snapshot) error {
+	res := ctx.Result
+	if res.Analysis != nil {
+		return nil
+	}
+	final := cur.Topology()
+	replicas := make([]int, final.Len())
+	for i := range replicas {
+		replicas[i] = 1
+	}
+	replicated := false
+	if res.Fission != nil {
+		input := res.Input.Topology()
+		for i := 0; i < final.Len(); i++ {
+			if id, ok := input.Lookup(final.Op(core.OpID(i)).Name); ok {
+				if n := res.Fission.Analysis.Replicas[id]; n > 1 {
+					replicas[i] = n
+					replicated = true
+				}
+			}
+		}
+	}
+	res.replicas = replicas
+
+	var a *core.Analysis
+	var err error
+	switch {
+	case ctx.cyclic:
+		a, err = core.SteadyStateCyclic(final)
+	case replicated:
+		a, err = ctx.Cache.SteadyStateWithReplicas(final, replicas, ctx.Opts.Fission.Partitioner)
+	default:
+		a, err = ctx.Cache.SteadyState(final)
+	}
+	if err != nil {
+		return fmt.Errorf("opt: final analysis: %w", err)
+	}
+	res.Analysis = a
+	return nil
+}

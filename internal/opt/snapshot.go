@@ -1,0 +1,46 @@
+package opt
+
+import "spinstreams/internal/core"
+
+// Snapshot is an immutable view of a topology at one point in the
+// pipeline. The constructor deep-copies the input, so later mutations of
+// the original cannot invalidate the fingerprint or any cached analysis
+// keyed on it. Passes receive a snapshot and return either the same
+// snapshot (analysis-only passes, fission — which picks degrees but never
+// rewrites the graph) or a new one built from a restructured topology
+// (fusion).
+//
+// Immutability contract: Topology() exposes the underlying graph so
+// passes can run the core algorithms on it, but callers must not modify
+// it — use Clone() to obtain a private mutable copy. The contract is
+// documented rather than enforced because core's analyses need the
+// concrete *core.Topology.
+type Snapshot struct {
+	topo *core.Topology
+	fp   uint64
+}
+
+// NewSnapshot deep-copies t into a new snapshot.
+func NewSnapshot(t *core.Topology) *Snapshot {
+	return newOwnedSnapshot(t.Clone())
+}
+
+// newOwnedSnapshot wraps a topology the caller guarantees nobody else
+// mutates (e.g. the fresh output of core.Fuse), skipping the defensive
+// copy.
+func newOwnedSnapshot(t *core.Topology) *Snapshot {
+	return &Snapshot{topo: t, fp: t.Fingerprint()}
+}
+
+// Topology returns the snapshot's graph. Treat it as read-only.
+func (s *Snapshot) Topology() *core.Topology { return s.topo }
+
+// Clone returns a private mutable copy of the snapshot's topology.
+func (s *Snapshot) Clone() *core.Topology { return s.topo.Clone() }
+
+// Fingerprint is the 64-bit hash of the complete topology profile; equal
+// fingerprints mean identical analyses (see core.Topology.Fingerprint).
+func (s *Snapshot) Fingerprint() uint64 { return s.fp }
+
+// Len returns the operator count.
+func (s *Snapshot) Len() int { return s.topo.Len() }

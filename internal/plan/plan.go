@@ -317,5 +317,14 @@ func (p *Plan) NumWorkers() int {
 	return n
 }
 
-// Station returns the station with the given ID.
-func (p *Plan) Station(id StationID) *Station { return &p.Stations[id] }
+// Station returns the station with the given ID, or nil when the ID is
+// out of range. IDs come from the plan's own index maps (EntryOf,
+// CollectorOf, Edge.To), so nil signals a caller-side bookkeeping bug
+// rather than a recoverable condition — but it does so without the
+// unbounded-index panic the raw slice access used to produce.
+func (p *Plan) Station(id StationID) *Station {
+	if id < 0 || int(id) >= len(p.Stations) {
+		return nil
+	}
+	return &p.Stations[id]
+}

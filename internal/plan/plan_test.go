@@ -219,3 +219,19 @@ func TestBuildAssignsPorts(t *testing.T) {
 		}
 	}
 }
+
+func TestStationBounds(t *testing.T) {
+	_, p := paperPlan(t, nil)
+	if st := p.Station(0); st == nil || st.Role != RoleSource {
+		t.Fatalf("Station(0) = %+v, want the source station", st)
+	}
+	last := StationID(len(p.Stations) - 1)
+	if st := p.Station(last); st == nil || st != &p.Stations[last] {
+		t.Fatalf("Station(%d) did not return the last station", last)
+	}
+	for _, id := range []StationID{-1, StationID(len(p.Stations)), math.MaxInt32} {
+		if st := p.Station(id); st != nil {
+			t.Errorf("Station(%d) = %+v, want nil", id, st)
+		}
+	}
+}

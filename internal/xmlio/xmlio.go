@@ -39,12 +39,25 @@ type OperatorDoc struct {
 	ServiceTime string `xml:"serviceTime,attr"`
 	// Impl references the implementation (the paper's .class pathname);
 	// see operators.Catalog for the built-in names.
-	Impl              string      `xml:"impl,attr,omitempty"`
-	InputSelectivity  float64     `xml:"inputSelectivity,attr,omitempty"`
-	OutputSelectivity float64     `xml:"outputSelectivity,attr,omitempty"`
-	KeysFile          string      `xml:"keysFile,attr,omitempty"`
-	Keys              []KeyDoc    `xml:"key,omitempty"`
-	Outputs           []OutputDoc `xml:"output,omitempty"`
+	Impl              string  `xml:"impl,attr,omitempty"`
+	InputSelectivity  float64 `xml:"inputSelectivity,attr,omitempty"`
+	OutputSelectivity float64 `xml:"outputSelectivity,attr,omitempty"`
+	// Replicas is the replication degree the optimizer chose; 0 or 1
+	// both mean "not replicated". Only written by the optimized-topology
+	// writers.
+	Replicas int         `xml:"replicas,attr,omitempty"`
+	KeysFile string      `xml:"keysFile,attr,omitempty"`
+	Keys     []KeyDoc    `xml:"key,omitempty"`
+	// Fused lists the original operators a fusion meta-operator replaced,
+	// in topological order, so code generation can reconstruct the
+	// internal routing.
+	Fused   []FusedDoc  `xml:"fused,omitempty"`
+	Outputs []OutputDoc `xml:"output,omitempty"`
+}
+
+// FusedDoc names one member of a fused meta-operator.
+type FusedDoc struct {
+	Name string `xml:"name,attr"`
 }
 
 // KeyDoc is one inline key-frequency entry.
@@ -131,6 +144,9 @@ func FromDocument(doc *Document, loader KeyLoader) (*core.Topology, error) {
 				return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
 			}
 			op.Keys = &core.KeyDistribution{Freq: freq}
+		}
+		for _, f := range od.Fused {
+			op.Fused = append(op.Fused, f.Name)
 		}
 		if _, err := t.AddOperator(op); err != nil {
 			return nil, fmt.Errorf("xmlio: %w", err)
@@ -264,6 +280,9 @@ func ToDocument(name string, t *core.Topology) *Document {
 				od.Keys = append(od.Keys, KeyDoc{Frequency: f})
 			}
 		}
+		for _, m := range op.Fused {
+			od.Fused = append(od.Fused, FusedDoc{Name: m})
+		}
 		for _, e := range t.Out(id) {
 			od.Outputs = append(od.Outputs, OutputDoc{
 				To:          t.Op(e.To).Name,
@@ -277,16 +296,7 @@ func ToDocument(name string, t *core.Topology) *Document {
 
 // Write serializes the topology as indented XML.
 func Write(w io.Writer, name string, t *core.Topology) error {
-	if _, err := io.WriteString(w, xml.Header); err != nil {
-		return err
-	}
-	enc := xml.NewEncoder(w)
-	enc.Indent("", "  ")
-	if err := enc.Encode(ToDocument(name, t)); err != nil {
-		return fmt.Errorf("xmlio: encode: %w", err)
-	}
-	_, err := io.WriteString(w, "\n")
-	return err
+	return writeDoc(w, ToDocument(name, t))
 }
 
 // WriteFile writes the topology to path.
@@ -300,6 +310,115 @@ func WriteFile(path, name string, t *core.Topology) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ToDocumentOptimized is ToDocument plus per-operator replication
+// degrees (index-aligned with OpIDs; nil means all ones). Degrees of one
+// are omitted from the XML.
+func ToDocumentOptimized(name string, t *core.Topology, replicas []int) (*Document, error) {
+	if replicas != nil && len(replicas) != t.Len() {
+		return nil, fmt.Errorf("xmlio: %d replica degrees for %d operators", len(replicas), t.Len())
+	}
+	doc := ToDocument(name, t)
+	for i := range doc.Operators {
+		if replicas == nil {
+			continue
+		}
+		if n := replicas[i]; n > 1 {
+			doc.Operators[i].Replicas = n
+		} else if n < 1 {
+			return nil, fmt.Errorf("xmlio: operator %q has replica degree %d", doc.Operators[i].Name, n)
+		}
+	}
+	return doc, nil
+}
+
+// FromDocumentOptimized is FromDocument plus the replication degrees
+// recorded in the document (omitted/zero degrees read as one).
+func FromDocumentOptimized(doc *Document, loader KeyLoader) (*core.Topology, []int, error) {
+	t, err := FromDocument(doc, loader)
+	if err != nil {
+		return nil, nil, err
+	}
+	replicas := make([]int, len(doc.Operators))
+	for i, od := range doc.Operators {
+		switch {
+		case od.Replicas < 0:
+			return nil, nil, fmt.Errorf("xmlio: operator %q has replica degree %d", od.Name, od.Replicas)
+		case od.Replicas <= 1:
+			replicas[i] = 1
+		default:
+			replicas[i] = od.Replicas
+		}
+	}
+	return t, replicas, nil
+}
+
+// WriteOptimized serializes an optimized topology — fused meta-operators
+// travel in the operator elements, replication degrees as replicas
+// attributes — such that ReadOptimized(WriteOptimized(t)) reproduces the
+// topology bit-exactly (equal Fingerprint) along with the degrees.
+func WriteOptimized(w io.Writer, name string, t *core.Topology, replicas []int) error {
+	doc, err := ToDocumentOptimized(name, t, replicas)
+	if err != nil {
+		return err
+	}
+	return writeDoc(w, doc)
+}
+
+// WriteFileOptimized writes an optimized topology to path.
+func WriteFileOptimized(path, name string, t *core.Topology, replicas []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("xmlio: %w", err)
+	}
+	if err := WriteOptimized(f, name, t, replicas); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOptimized parses a topology document along with the recorded
+// replication degrees (all ones when the document carries none).
+func ReadOptimized(r io.Reader, opts ...Option) (*core.Topology, []int, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var doc Document
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("xmlio: parse: %w", err)
+	}
+	return FromDocumentOptimized(&doc, o.keyLoader)
+}
+
+// ReadFileOptimized parses path with replica degrees; keysFile
+// references resolve relative to its directory.
+func ReadFileOptimized(path string, opts ...Option) (*core.Topology, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xmlio: %w", err)
+	}
+	defer f.Close()
+	all := append([]Option{WithKeyLoader(func(ref string) ([]float64, error) {
+		return LoadKeyFile(filepath.Join(filepath.Dir(path), ref))
+	})}, opts...)
+	return ReadOptimized(f, all...)
+}
+
+func writeDoc(w io.Writer, doc *Document) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlio: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
 }
 
 // formatSeconds renders a service time with a readable unit when the

@@ -47,6 +47,7 @@ import (
 	"spinstreams/internal/faultinject"
 	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
+	"spinstreams/internal/opt"
 	"spinstreams/internal/plan"
 	"spinstreams/internal/qsim"
 	"spinstreams/internal/runtime"
@@ -181,6 +182,41 @@ const (
 	MM1 = core.MM1
 	MD1 = core.MD1
 )
+
+// Optimizer pipeline types (internal/opt): the pass-pipeline driver that
+// composes Algorithms 1-3 over an immutable topology snapshot with a
+// memoizing steady-state solver and a structured rewrite trace.
+type (
+	// OptimizerOptions configures the pass pipeline (fission and fusion
+	// options, pass toggles, cyclic admission).
+	OptimizerOptions = opt.Options
+	// OptimizerResult is the pipeline outcome: final snapshot, per-pass
+	// results, replica degrees mapped to the final topology, the rewrite
+	// trace and the solver-cache statistics.
+	OptimizerResult = opt.Result
+	// RewriteTrace is the structured record of every optimizer decision,
+	// exportable as JSON (schema opt.TraceSchema).
+	RewriteTrace = opt.Trace
+	// DeltaPlan is Reoptimize's output: replica changes and fusions to
+	// undo under measured profiles.
+	DeltaPlan = opt.DeltaPlan
+)
+
+// OptimizePipeline runs the full pass pipeline — analysis, bottleneck
+// elimination, fusion — and returns the composite result with its
+// rewrite trace. Equivalent to running Analyze, Optimize and AutoFuse in
+// sequence, but with shared solver memoization and provenance.
+func OptimizePipeline(t *Topology, opts OptimizerOptions) (*OptimizerResult, error) {
+	return opt.Run(t, opts)
+}
+
+// Reoptimize closes the adaptation loop: it substitutes a drift report's
+// measured profiles into the topology, re-runs the optimizer pipeline,
+// and returns the delta plan (replica changes, fusions to undo) that
+// moves the deployment to the new optimum.
+func Reoptimize(t *Topology, drift *DriftReport, opts OptimizerOptions) (*DeltaPlan, error) {
+	return opt.Reoptimize(opt.NewSnapshot(t), drift, opts)
+}
 
 // AnalyzeCyclic runs the steady-state analysis extended to topologies with
 // feedback edges (the cyclic generality the paper lists as future work):

@@ -220,3 +220,41 @@ func TestFacadeDistributedAndFiles(t *testing.T) {
 		t.Errorf("file round trip lost operators")
 	}
 }
+
+// TestFacadeOptimizerPipeline covers the pass-pipeline facade: one call
+// runs analysis, fission and fusion with a rewrite trace, and Reoptimize
+// turns a drift report from a live run into a delta plan.
+func TestFacadeOptimizerPipeline(t *testing.T) {
+	topo, _ := spinstreams.PaperExample(false)
+	res, err := spinstreams.OptimizePipeline(topo, spinstreams.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Topology().Len() >= topo.Len() {
+		t.Error("pipeline did not fuse the paper example")
+	}
+	if res.Trace == nil || len(res.Trace.Passes) == 0 {
+		t.Error("pipeline produced no rewrite trace")
+	}
+	if _, err := res.Trace.JSON(); err != nil {
+		t.Errorf("trace JSON: %v", err)
+	}
+
+	reg := spinstreams.NewObsRegistry()
+	if _, err := spinstreams.Execute(context.Background(), topo, nil, nil, spinstreams.RunConfig{
+		Duration: 500 * time.Millisecond, Warmup: 125 * time.Millisecond, MailboxSize: 8, Obs: reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := spinstreams.ComputeDrift(topo, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := spinstreams.Reoptimize(topo, rep, spinstreams.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.String() == "" {
+		t.Error("delta plan renders empty")
+	}
+}
