@@ -11,6 +11,7 @@
 //	spinstreams generate   -in topo.xml -out main.go [-members ...]
 //	spinstreams run        -in topo.xml [-duration 5s] [-replicas auto] [-drift] [-reoptimize]
 //	spinstreams simulate   -in topo.xml [-horizon 40]
+//	spinstreams vet        -in topo.xml [-members ...] [-trace trace.json] [-format text|json|sarif] [-o report]
 package main
 
 import (
@@ -70,6 +71,8 @@ func run(args []string) error {
 		return cmdSimulate(args[1:])
 	case "profile":
 		return cmdProfile(args[1:])
+	case "vet":
+		return cmdVet(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -93,6 +96,7 @@ subcommands:
   run         execute the topology on the goroutine runtime
   simulate    run the discrete-event simulation
   profile     measure the catalog operators (service time, selectivity)
+  vet         statically verify a topology (structure, cost model, rewrite traces)
 `)
 }
 
@@ -205,8 +209,14 @@ func cmdOptimize(args []string) error {
 	fuse := fs.Bool("fuse", false, "also run the fusion pass after bottleneck elimination")
 	traceJSON := fs.String("trace-json", "", "write the structured rewrite trace (JSON) here")
 	traceDot := fs.String("trace-dot", "", "write the rewrite trace as an annotated DOT overlay here")
+	vet := fs.Bool("vet", false, "print positioned vet diagnostics for the input before optimizing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *vet {
+		if err := preVet(*in, false); err != nil {
+			return err
+		}
 	}
 	t, err := loadTopology(*in)
 	if err != nil {
@@ -510,8 +520,14 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /snapshot JSON, /debug/vars expvar)")
 	drift := fs.Bool("drift", false, "after the run, compare the cost model's predictions against the measured rates")
 	reoptimize := fs.Bool("reoptimize", false, "after the run, re-run the optimizer on the measured profiles and print the delta plan")
+	vet := fs.Bool("vet", false, "print positioned vet diagnostics for the input before running")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *vet {
+		if err := preVet(*in, false); err != nil {
+			return err
+		}
 	}
 	// Flag-level validation: the library treats zero as "use default",
 	// so nonsense explicitly typed on the command line is rejected here.

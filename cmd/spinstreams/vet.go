@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spinstreams/internal/lint"
+	"spinstreams/internal/xmlio"
+)
+
+// cmdVet is the static verification front-end: it lints a topology
+// document (structure, cost model, optional fusion candidate and rewrite
+// trace) and renders the report as text, JSON, or SARIF. The exit status
+// is non-zero when any error-severity diagnostic fires, so the command
+// slots directly into CI.
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	in := fs.String("in", "", "input topology XML")
+	members := fs.String("members", "", "comma-separated fusion candidate to verify against the Section 3.3 preconditions")
+	budget := fs.Int("replica-budget", 0, "replica budget the deployment must fit (0 = unbounded)")
+	allowCycles := fs.Bool("allow-cycles", false, "accept feedback edges and analyze them with the fixed-point solver")
+	tracePath := fs.String("trace", "", "rewrite trace JSON to replay against the topology")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	out := fs.String("o", "", "write the report here instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	rep, err := vetFile(*in, vetOptions{
+		members:     *members,
+		budget:      *budget,
+		allowCycles: *allowCycles,
+		tracePath:   *tracePath,
+	})
+	if err != nil {
+		return err
+	}
+
+	var rendered []byte
+	switch *format {
+	case "text":
+		var b strings.Builder
+		if err := rep.Text(&b); err != nil {
+			return err
+		}
+		rendered = []byte(b.String())
+	case "json":
+		if rendered, err = rep.JSON(); err != nil {
+			return err
+		}
+		rendered = append(rendered, '\n')
+	case "sarif":
+		if rendered, err = rep.SARIF(); err != nil {
+			return err
+		}
+		rendered = append(rendered, '\n')
+	default:
+		return fmt.Errorf("vet: unknown format %q (want text, json, or sarif)", *format)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+			return err
+		}
+	} else if _, err := os.Stdout.Write(rendered); err != nil {
+		return err
+	}
+
+	if errs, warns, _ := rep.Counts(); errs > 0 {
+		return fmt.Errorf("vet: %d error(s), %d warning(s)", errs, warns)
+	}
+	return nil
+}
+
+type vetOptions struct {
+	members     string
+	budget      int
+	allowCycles bool
+	tracePath   string
+}
+
+// vetFile runs the document-level verifier on path with positioned
+// diagnostics, resolving keysFile references relative to the document.
+func vetFile(path string, o vetOptions) (*lint.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, pos, err := xmlio.DecodeDocument(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg := lint.Config{
+		File: path,
+		KeyLoader: func(ref string) ([]float64, error) {
+			return xmlio.LoadKeyFile(filepath.Join(filepath.Dir(path), ref))
+		},
+		ReplicaBudget: o.budget,
+		AllowCycles:   o.allowCycles,
+	}
+	if o.members != "" {
+		for _, m := range strings.Split(o.members, ",") {
+			cfg.FuseMembers = append(cfg.FuseMembers, strings.TrimSpace(m))
+		}
+	}
+	if o.tracePath != "" {
+		trace, err := os.ReadFile(o.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trace = trace
+	}
+	return lint.RunDocument(doc, pos, cfg), nil
+}
+
+// preVet is the -vet flag on run/optimize: lint the input first, print
+// any findings to stderr, and refuse to proceed on errors.
+func preVet(path string, allowCycles bool) error {
+	rep, err := vetFile(path, vetOptions{allowCycles: allowCycles})
+	if err != nil {
+		return err
+	}
+	if len(rep.Diagnostics) > 0 {
+		if err := rep.Text(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("vet: input rejected")
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -69,8 +70,10 @@ func (d *KeyDistribution) Validate() error {
 	}
 	sum := 0.0
 	for i, f := range d.Freq {
-		if f <= 0 {
-			return fmt.Errorf("key distribution: frequency %d is %v, must be > 0", i, f)
+		// !(f > 0) instead of f <= 0: NaN fails both orderings, and a NaN
+		// frequency would otherwise slip through into the load model.
+		if !(f > 0) || math.IsInf(f, 1) {
+			return fmt.Errorf("key distribution: frequency %d is %v, must be a finite value > 0", i, f)
 		}
 		sum += f
 	}
@@ -189,8 +192,17 @@ func (t *Topology) AddOperator(op Operator) (OpID, error) {
 	if _, dup := t.byName[op.Name]; dup {
 		return -1, fmt.Errorf("add operator: duplicate name %q", op.Name)
 	}
-	if op.ServiceTime <= 0 {
-		return -1, fmt.Errorf("add operator %q: service time %v, must be > 0", op.Name, op.ServiceTime)
+	// !(x > 0) instead of x <= 0 so NaN service times are rejected too:
+	// NaN compares false against everything and would otherwise pass
+	// straight into the steady-state equations.
+	if !(op.ServiceTime > 0) || math.IsInf(op.ServiceTime, 1) {
+		return -1, fmt.Errorf("add operator %q: service time %v, must be finite and > 0", op.Name, op.ServiceTime)
+	}
+	if math.IsNaN(op.InputSelectivity) || math.IsInf(op.InputSelectivity, 0) {
+		return -1, fmt.Errorf("add operator %q: input selectivity %v, must be finite", op.Name, op.InputSelectivity)
+	}
+	if math.IsNaN(op.OutputSelectivity) || math.IsInf(op.OutputSelectivity, 0) {
+		return -1, fmt.Errorf("add operator %q: output selectivity %v, must be finite", op.Name, op.OutputSelectivity)
 	}
 	if op.Kind < KindSource || op.Kind > KindSink {
 		return -1, fmt.Errorf("add operator %q: invalid kind %d", op.Name, int(op.Kind))
@@ -226,7 +238,7 @@ func (t *Topology) Connect(from, to OpID, prob float64) error {
 	if from == to {
 		return fmt.Errorf("connect: self-loop on %q", t.ops[from].Name)
 	}
-	if prob <= 0 || prob > 1+probTolerance {
+	if !(prob > 0) || prob > 1+probTolerance {
 		return fmt.Errorf("connect %q -> %q: probability %v outside (0, 1]", t.ops[from].Name, t.ops[to].Name, prob)
 	}
 	for _, e := range t.out[from] {

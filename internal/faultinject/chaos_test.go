@@ -170,7 +170,9 @@ func TestChaosScheduleParityAcrossModes(t *testing.T) {
 		}
 		close(done)
 		wg.Wait()
-		m.Drain()
+		if n := m.Drain(); n < 0 {
+			t.Fatalf("Drain = %d", n)
+		}
 		return inj.Counts()
 	}
 	perTuple := run(mailbox.PerTuple)

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Text writes the report in the one-line-per-diagnostic form, closing
+// with a severity summary. The output is deterministic and is the format
+// of the corpus goldens.
+func (r *Report) Text(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	errs, warns, infos := r.Counts()
+	_, err := fmt.Fprintf(w, "%d error(s), %d warning(s), %d info(s)\n", errs, warns, infos)
+	return err
+}
+
+// JSON renders the report as indented JSON with severity counts.
+func (r *Report) JSON() ([]byte, error) {
+	errs, warns, infos := r.Counts()
+	return json.MarshalIndent(struct {
+		File        string       `json:"file,omitempty"`
+		Diagnostics []Diagnostic `json:"diagnostics"`
+		Errors      int          `json:"errors"`
+		Warnings    int          `json:"warnings"`
+		Infos       int          `json:"infos"`
+	}{r.File, r.Diagnostics, errs, warns, infos}, "", "  ")
+}
+
+// SARIF schema pointers for the 2.1.0 output.
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+// sarifLevel maps lint severities onto SARIF result levels.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifRule struct {
+	ID                   string    `json:"id"`
+	Name                 string    `json:"name"`
+	ShortDescription     sarifText `json:"shortDescription"`
+	DefaultConfiguration struct {
+		Level string `json:"level"`
+	} `json:"defaultConfiguration"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation struct {
+		ArtifactLocation struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region *struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn"`
+		} `json:"region,omitempty"`
+	} `json:"physicalLocation"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log with one run, the full
+// rule table, and one result per diagnostic — the format CI uploads for
+// code-scanning annotation.
+func (r *Report) SARIF() ([]byte, error) {
+	rules := make([]sarifRule, len(Rules))
+	for i, rule := range Rules {
+		rules[i].ID = rule.Code
+		rules[i].Name = rule.Name
+		rules[i].ShortDescription.Text = rule.Summary
+		rules[i].DefaultConfiguration.Level = sarifLevel(rule.Severity)
+	}
+	results := make([]sarifResult, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		res := sarifResult{
+			RuleID:  d.Code,
+			Level:   sarifLevel(d.Severity),
+			Message: sarifText{Text: d.Message},
+		}
+		if d.File != "" {
+			var loc sarifLocation
+			loc.PhysicalLocation.ArtifactLocation.URI = d.File
+			if d.Line > 0 {
+				loc.PhysicalLocation.Region = &struct {
+					StartLine   int `json:"startLine"`
+					StartColumn int `json:"startColumn"`
+				}{d.Line, d.Col}
+			}
+			res.Locations = append(res.Locations, loc)
+		}
+		results = append(results, res)
+	}
+	doc := map[string]any{
+		"version": sarifVersion,
+		"$schema": sarifSchema,
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "spinstreams-vet",
+					"informationUri": "https://doi.org/10.1145/3274808.3274814",
+					"rules":          rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

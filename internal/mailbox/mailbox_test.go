@@ -104,7 +104,9 @@ func TestBatchFullFlush(t *testing.T) {
 	done := make(chan struct{})
 	s := m.NewSender(0)
 	for i := 0; i < 4; i++ {
-		s.Send(i, done)
+		if r := s.Send(i, done); r != Sent {
+			t.Fatalf("Send(%d) = %v", i, r)
+		}
 	}
 	deadline := time.After(2 * time.Second)
 	got := make(chan int, 4)
@@ -139,7 +141,9 @@ func TestLingerFlushesPartialBatch(t *testing.T) {
 	done := make(chan struct{})
 	s := m.NewSender(0)
 	start := time.Now()
-	s.Send(7, done)
+	if r := s.Send(7, done); r != Sent {
+		t.Fatalf("Send = %v", r)
+	}
 	v, ok := m.Recv(done)
 	if !ok || v != 7 {
 		t.Fatalf("Recv = %d,%v", v, ok)
@@ -160,7 +164,9 @@ func TestDoneUnblocksBothSides(t *testing.T) {
 			}
 			done := make(chan struct{})
 			s := m.NewSender(0)
-			s.Send(1, done)
+			if r := s.Send(1, done); r != Sent {
+				t.Fatalf("Send = %v", r)
+			}
 			res := make(chan SendResult, 1)
 			recvOK := make(chan bool, 1)
 			go func() { res <- s.Send(2, done) }()

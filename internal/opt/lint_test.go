@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/lint"
+	"spinstreams/internal/obs"
+	"spinstreams/internal/profiler"
+	"spinstreams/internal/xmlio"
+)
+
+// TestPipelineTraceReplaysCleanly is the provenance loop: the trace a
+// pipeline run emits must replay against its own input with zero SS2001
+// diagnostics, and the recorded final fingerprint must match.
+func TestPipelineTraceReplaysCleanly(t *testing.T) {
+	top, err := xmlio.ReadFile("../../testdata/paper-table1.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.FinalFingerprint == "" {
+		t.Fatal("trace has no final fingerprint")
+	}
+	data, err := res.Trace.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lint.Run(top, lint.Config{Trace: data})
+	if rep.HasErrors() {
+		t.Fatalf("own trace does not replay: %v", rep.Err())
+	}
+}
+
+// TestPipelineTraceReplayCatchesTampering flips the final fingerprint and
+// expects the replay to flag it.
+func TestPipelineTraceReplayCatchesTampering(t *testing.T) {
+	top, err := xmlio.ReadFile("../../testdata/paper-table1.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Trace.FinalFingerprint = "0000000000000000"
+	data, err := res.Trace.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := lint.Run(top, lint.Config{Trace: data})
+	if !rep.HasErrors() {
+		t.Fatal("tampered final fingerprint not flagged")
+	}
+	found := false
+	for _, d := range rep.Diagnostics {
+		if d.Code == lint.CodeTraceReplay {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want SS2001, got %v", rep.Diagnostics)
+	}
+}
+
+// TestPipelineRefusesLintErrors feeds the pipeline a topology with a
+// probability-mass hole and expects the vet pre-pass to abort the run with
+// the diagnostic code in the error.
+func TestPipelineRefusesLintErrors(t *testing.T) {
+	top := core.NewTopology()
+	src, _ := top.AddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1e-3})
+	mid, _ := top.AddOperator(core.Operator{Name: "mid", Kind: core.KindStateless, ServiceTime: 1e-4})
+	sink, _ := top.AddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 1e-4})
+	if err := top.Connect(src, mid, 0.5); err != nil { // mass hole: only 50% routed
+		t.Fatal(err)
+	}
+	if err := top.Connect(mid, sink, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(top, Options{})
+	if err == nil {
+		t.Fatal("pipeline accepted a lint-rejected topology")
+	}
+	if !strings.Contains(err.Error(), lint.CodeProbabilityMass) {
+		t.Fatalf("error does not carry the diagnostic code: %v", err)
+	}
+}
+
+// TestReoptimizeRefusesMismatchedDrift redeploys a different topology and
+// expects Reoptimize to refuse the stale drift report with SS2002.
+func TestReoptimizeRefusesMismatchedDrift(t *testing.T) {
+	top, err := xmlio.ReadFile("../../testdata/paper-table1.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshot(top)
+	profiles := make([]profiler.Profile, top.Len())
+	for i := range profiles {
+		profiles[i] = profiler.Profile{ServiceTime: 1e-3, InputSelectivity: 1, OutputSelectivity: 1}
+	}
+	drift := &obs.DriftReport{
+		Rows:             []obs.DriftRow{{Name: "not-a-station"}},
+		MeasuredProfiles: profiles,
+	}
+	_, err = Reoptimize(snap, drift, Options{})
+	if err == nil {
+		t.Fatal("Reoptimize accepted a drift report for a different topology")
+	}
+	if !strings.Contains(err.Error(), lint.CodeDriftMismatch) {
+		t.Fatalf("error does not carry SS2002: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/lint"
 )
 
 // Options configures one pipeline run.
@@ -115,6 +116,19 @@ func (p *Pipeline) Run(t *core.Topology) (*Result, error) {
 	}
 	ctx.Result.Trace = ctx.Trace
 
+	// Mandatory vet pre-pass: errors abort the run before any pass
+	// executes; warnings attach to the trace. The pre-pass dry-runs the
+	// solver through the pipeline's cache, so it adds no extra solves —
+	// the analyze pass hits the memoized result.
+	pre := lint.Run(snap.Topology(), lint.Config{
+		AllowCycles: p.Opts.AllowCycles,
+		Solver:      ctx.Cache,
+	})
+	if err := pre.Err(); err != nil {
+		return nil, fmt.Errorf("opt: vet: %w", err)
+	}
+	ctx.Trace.Lint = pre.Diagnostics
+
 	cur := snap
 	var err error
 	for _, pass := range p.Passes {
@@ -129,6 +143,7 @@ func (p *Pipeline) Run(t *core.Topology) (*Result, error) {
 	ctx.Result.Final = cur
 	ctx.Result.CacheStats = ctx.Cache.Stats()
 	ctx.Trace.ThroughputAfter = ctx.Result.Analysis.Throughput()
+	ctx.Trace.FinalFingerprint = fmt.Sprintf("%016x", cur.Fingerprint())
 	return ctx.Result, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/lint"
 	"spinstreams/internal/obs"
 	"spinstreams/internal/profiler"
 )
@@ -85,6 +86,16 @@ func Reoptimize(s *Snapshot, drift *obs.DriftReport, opts Options) (*DeltaPlan, 
 	}
 	if len(drift.MeasuredProfiles) == 0 {
 		return nil, errors.New("opt: reoptimize: drift report carries no measured profiles")
+	}
+	// Refuse reports measured against a different topology (redeployed
+	// since profiling): computing a delta plan against the wrong graph
+	// would emit reconfigurations for operators that no longer exist.
+	stations := make([]string, len(drift.Rows))
+	for i, row := range drift.Rows {
+		stations[i] = row.Name
+	}
+	if ds := lint.CheckDrift(s.Topology(), stations, drift.Replicas, len(drift.MeasuredProfiles)); len(ds) > 0 {
+		return nil, fmt.Errorf("opt: reoptimize: %w", &lint.Error{Diagnostics: ds})
 	}
 	reprofiled := s.Clone()
 	if err := profiler.Apply(reprofiled, drift.MeasuredProfiles); err != nil {

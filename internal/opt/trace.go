@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"spinstreams/internal/core"
+	"spinstreams/internal/lint"
 )
 
 // TraceSchema identifies the rewrite-trace JSON layout; bump on breaking
@@ -26,6 +27,9 @@ type Trace struct {
 	Edges     int `json:"edges"`
 	// Cyclic marks topologies analyzed with the fixed-point solver.
 	Cyclic bool `json:"cyclic,omitempty"`
+	// Lint carries the mandatory pre-pass diagnostics that did not abort
+	// the run (warnings and infos; errors abort before a trace exists).
+	Lint []lint.Diagnostic `json:"lint,omitempty"`
 	// Passes holds one entry per executed pass, in execution order.
 	Passes []*PassTrace `json:"passes"`
 	// ThroughputBefore is the plain Algorithm 1 prediction on the input;
@@ -33,6 +37,10 @@ type Trace struct {
 	// topology under the chosen replication degrees.
 	ThroughputBefore float64 `json:"throughput_before"`
 	ThroughputAfter  float64 `json:"throughput_after"`
+	// FinalFingerprint is the final topology's fingerprint, in hex; the
+	// lint trace-replay check (SS2001) verifies a replay of the recorded
+	// rewrites reproduces it.
+	FinalFingerprint string `json:"final_fingerprint"`
 }
 
 // PassTrace records one pass's execution.

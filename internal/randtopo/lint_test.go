@@ -1,0 +1,47 @@
+package randtopo
+
+import (
+	"math"
+	"testing"
+
+	"spinstreams/internal/lint"
+)
+
+// TestGeneratedTopologiesLintClean is the generator's contract with the
+// vet layer: every seed must produce a topology that passes lint with
+// zero errors (warnings are allowed — the testbed intentionally starts
+// bottlenecked, so SS1102 may fire).
+func TestGeneratedTopologiesLintClean(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		g, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := lint.Run(g.Topology, lint.Config{})
+		for _, d := range rep.Diagnostics {
+			if d.Severity == lint.SeverityError {
+				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+	}
+}
+
+func TestConfigValidateRejectsNaN(t *testing.T) {
+	cases := []Config{
+		{ServiceTimeMin: math.NaN()},
+		{ServiceTimeMax: math.Inf(1)},
+		{BetaMin: math.NaN()},
+		{SourceFactor: math.Inf(-1)},
+		{ZipfExpMax: math.NaN()},
+		{KeySkewMin: math.NaN()},
+		{StatefulFraction: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: Generate accepted invalid config %+v", i, cfg)
+		}
+		if _, err := GenerateSized(cfg, 5, 5); err == nil {
+			t.Errorf("case %d: GenerateSized accepted invalid config %+v", i, cfg)
+		}
+	}
+}

@@ -58,6 +58,33 @@ type Config struct {
 	MaxKeys int
 }
 
+// validate rejects configurations whose float fields are NaN or infinite.
+// withDefaults replaces non-positive values but compares with `<=`, which
+// NaN fails both ways — without this gate a NaN ServiceTimeMin would flow
+// straight into every generated operator.
+func (c Config) validate() error {
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"BetaMin", c.BetaMin}, {"BetaMax", c.BetaMax},
+		{"ServiceTimeMin", c.ServiceTimeMin}, {"ServiceTimeMax", c.ServiceTimeMax},
+		{"SourceFactor", c.SourceFactor},
+		{"ZipfExpMin", c.ZipfExpMin}, {"ZipfExpMax", c.ZipfExpMax},
+		{"KeySkewMin", c.KeySkewMin}, {"KeySkewMax", c.KeySkewMax},
+		{"StatefulFraction", c.StatefulFraction},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("randtopo: config field %s is %v, must be finite", f.name, f.v)
+		}
+	}
+	if c.StatefulFraction > 1 {
+		return fmt.Errorf("randtopo: config field StatefulFraction is %v, must be <= 1", c.StatefulFraction)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.MinOps <= 0 {
 		c.MinOps = 2
@@ -132,6 +159,9 @@ var statefulImpls = []string{"skyline", "topk"}
 
 // Generate builds one random topology per Algorithm 5.
 func Generate(cfg Config) (*Generated, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	rng := stats.NewRNG(cfg.Seed)
 
@@ -144,6 +174,9 @@ func Generate(cfg Config) (*Generated, error) {
 // GenerateSized builds a topology with exactly v vertices and an expected
 // e edges, validating the bounds exactly as Algorithm 5 does.
 func GenerateSized(cfg Config, v, e int) (*Generated, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if e > v*(v-1)/2 {
 		return nil, fmt.Errorf("randtopo: too many edges (%d for %d vertices)", e, v)

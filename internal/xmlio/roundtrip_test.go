@@ -1,4 +1,4 @@
-package xmlio
+package xmlio_test
 
 import (
 	"bytes"
@@ -8,16 +8,17 @@ import (
 	"spinstreams/internal/core"
 	"spinstreams/internal/opt"
 	"spinstreams/internal/randtopo"
+	"spinstreams/internal/xmlio"
 )
 
 // roundTrip writes t (+replicas) and reads it back.
 func roundTrip(t *testing.T, topo *core.Topology, replicas []int) (*core.Topology, []int) {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := WriteOptimized(&buf, "roundtrip", topo, replicas); err != nil {
+	if err := xmlio.WriteOptimized(&buf, "roundtrip", topo, replicas); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, reps, err := ReadOptimized(&buf)
+	got, reps, err := xmlio.ReadOptimized(&buf)
 	if err != nil {
 		t.Fatalf("read back: %v\nxml:\n%s", err, buf.String())
 	}
@@ -42,7 +43,7 @@ func sameTopology(t *testing.T, want, got *core.Topology) {
 	}
 }
 
-// TestRoundTripCorpus: Read(Write(t)) ≡ t over the shipped corpus (the
+// TestRoundTripCorpus: Read(xmlio.Write(t)) ≡ t over the shipped corpus (the
 // fuzz seed set).
 func TestRoundTripCorpus(t *testing.T) {
 	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.xml"))
@@ -51,16 +52,16 @@ func TestRoundTripCorpus(t *testing.T) {
 	}
 	for _, path := range paths {
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			topo, err := ReadFile(path)
+			topo, err := xmlio.ReadFile(path)
 			if err != nil {
 				t.Fatalf("read corpus file: %v", err)
 			}
 			got, reps, err := func() (*core.Topology, []int, error) {
 				var buf bytes.Buffer
-				if err := Write(&buf, "corpus", topo); err != nil {
+				if err := xmlio.Write(&buf, "corpus", topo); err != nil {
 					return nil, nil, err
 				}
-				return ReadOptimized(&buf)
+				return xmlio.ReadOptimized(&buf)
 			}()
 			if err != nil {
 				t.Fatal(err)
@@ -140,10 +141,10 @@ func TestRoundTripOptimized(t *testing.T) {
 func TestRoundTripRejectsBadReplicas(t *testing.T) {
 	topo, _ := core.PaperExampleTopology(core.PaperExampleTable1)
 	var buf bytes.Buffer
-	if err := WriteOptimized(&buf, "bad", topo, []int{1, 2}); err == nil {
+	if err := xmlio.WriteOptimized(&buf, "bad", topo, []int{1, 2}); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if err := WriteOptimized(&buf, "bad", topo, []int{0, 1, 1, 1, 1, 1}); err == nil {
+	if err := xmlio.WriteOptimized(&buf, "bad", topo, []int{0, 1, 1, 1, 1, 1}); err == nil {
 		t.Error("zero replica degree accepted")
 	}
 }

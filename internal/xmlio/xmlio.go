@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -45,9 +46,9 @@ type OperatorDoc struct {
 	// Replicas is the replication degree the optimizer chose; 0 or 1
 	// both mean "not replicated". Only written by the optimized-topology
 	// writers.
-	Replicas int         `xml:"replicas,attr,omitempty"`
-	KeysFile string      `xml:"keysFile,attr,omitempty"`
-	Keys     []KeyDoc    `xml:"key,omitempty"`
+	Replicas int      `xml:"replicas,attr,omitempty"`
+	KeysFile string   `xml:"keysFile,attr,omitempty"`
+	Keys     []KeyDoc `xml:"key,omitempty"`
 	// Fused lists the original operators a fusion meta-operator replaced,
 	// in topological order, so code generation can reconstruct the
 	// internal routing.
@@ -88,17 +89,17 @@ func WithKeyLoader(l KeyLoader) Option {
 }
 
 // Read parses a topology document from r and builds the validated graph.
+// Validation errors point at the offending element's line and column.
 func Read(r io.Reader, opts ...Option) (*core.Topology, error) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	var doc Document
-	dec := xml.NewDecoder(r)
-	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("xmlio: parse: %w", err)
+	doc, pos, err := DecodeDocument(r)
+	if err != nil {
+		return nil, err
 	}
-	return FromDocument(&doc, o.keyLoader)
+	return fromDocument(doc, pos, o.keyLoader)
 }
 
 // ReadFile parses path; keysFile references resolve relative to its
@@ -117,18 +118,38 @@ func ReadFile(path string, opts ...Option) (*core.Topology, error) {
 
 // FromDocument builds and validates the topology described by doc.
 func FromDocument(doc *Document, loader KeyLoader) (*core.Topology, error) {
+	return fromDocument(doc, nil, loader)
+}
+
+// checkSelectivity rejects NaN/Inf/negative selectivity attributes before
+// they flow into the gain model (zero means "default of 1" and is fine).
+func checkSelectivity(label string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s %v, must be a finite value >= 0", label, v)
+	}
+	return nil
+}
+
+func fromDocument(doc *Document, pos *Positions, loader KeyLoader) (*core.Topology, error) {
 	if len(doc.Operators) == 0 {
 		return nil, errors.New("xmlio: document has no operators")
 	}
 	t := core.NewTopology()
-	for _, od := range doc.Operators {
+	for i, od := range doc.Operators {
+		at := pos.Operator(i)
 		kind, err := parseKind(od.Type)
 		if err != nil {
-			return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+			return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q: %v", od.Name, err))
 		}
 		st, err := ParseServiceTime(od.ServiceTime)
 		if err != nil {
-			return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+			return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q: %v", od.Name, err))
+		}
+		if err := checkSelectivity("input selectivity", od.InputSelectivity); err != nil {
+			return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q: %v", od.Name, err))
+		}
+		if err := checkSelectivity("output selectivity", od.OutputSelectivity); err != nil {
+			return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q: %v", od.Name, err))
 		}
 		op := core.Operator{
 			Name:              od.Name,
@@ -141,7 +162,13 @@ func FromDocument(doc *Document, loader KeyLoader) (*core.Topology, error) {
 		if kind == core.KindPartitionedStateful {
 			freq, err := keysOf(od, loader)
 			if err != nil {
-				return nil, fmt.Errorf("xmlio: operator %q: %w", od.Name, err)
+				return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q: %v", od.Name, err))
+			}
+			for j, f := range freq {
+				if !(f > 0) || math.IsInf(f, 1) {
+					return nil, fmt.Errorf("xmlio: %w", errAt(pos.Key(i, j),
+						"operator %q: key frequency %d is %v, must be a finite value > 0", od.Name, j, f))
+				}
 			}
 			op.Keys = &core.KeyDistribution{Freq: freq}
 		}
@@ -149,18 +176,23 @@ func FromDocument(doc *Document, loader KeyLoader) (*core.Topology, error) {
 			op.Fused = append(op.Fused, f.Name)
 		}
 		if _, err := t.AddOperator(op); err != nil {
-			return nil, fmt.Errorf("xmlio: %w", err)
+			return nil, fmt.Errorf("xmlio: %w", errAt(at, "%v", err))
 		}
 	}
-	for _, od := range doc.Operators {
+	for i, od := range doc.Operators {
 		from, _ := t.Lookup(od.Name)
-		for _, out := range od.Outputs {
+		for j, out := range od.Outputs {
+			at := pos.Output(i, j)
 			to, ok := t.Lookup(out.To)
 			if !ok {
-				return nil, fmt.Errorf("xmlio: operator %q outputs to unknown %q", od.Name, out.To)
+				return nil, fmt.Errorf("xmlio: %w", errAt(at, "operator %q outputs to unknown %q", od.Name, out.To))
+			}
+			if !(out.Probability > 0) || out.Probability > 1+1e-6 {
+				return nil, fmt.Errorf("xmlio: %w", errAt(at,
+					"operator %q -> %q: probability %v outside (0, 1]", od.Name, out.To, out.Probability))
 			}
 			if err := t.Connect(from, to, out.Probability); err != nil {
-				return nil, fmt.Errorf("xmlio: %w", err)
+				return nil, fmt.Errorf("xmlio: %w", errAt(at, "%v", err))
 			}
 		}
 	}
@@ -237,8 +269,9 @@ func ParseServiceTime(s string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("service time %q: want a duration (\"1.2ms\") or seconds (\"0.0012\")", s)
 	}
-	if v <= 0 {
-		return 0, fmt.Errorf("service time %q not positive", s)
+	// !(v > 0) also rejects NaN, which strconv.ParseFloat accepts.
+	if !(v > 0) || math.IsInf(v, 1) {
+		return 0, fmt.Errorf("service time %q not a finite positive value", s)
 	}
 	return v, nil
 }
@@ -336,7 +369,11 @@ func ToDocumentOptimized(name string, t *core.Topology, replicas []int) (*Docume
 // FromDocumentOptimized is FromDocument plus the replication degrees
 // recorded in the document (omitted/zero degrees read as one).
 func FromDocumentOptimized(doc *Document, loader KeyLoader) (*core.Topology, []int, error) {
-	t, err := FromDocument(doc, loader)
+	return fromDocumentOptimized(doc, nil, loader)
+}
+
+func fromDocumentOptimized(doc *Document, pos *Positions, loader KeyLoader) (*core.Topology, []int, error) {
+	t, err := fromDocument(doc, pos, loader)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -386,12 +423,11 @@ func ReadOptimized(r io.Reader, opts ...Option) (*core.Topology, []int, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	var doc Document
-	dec := xml.NewDecoder(r)
-	if err := dec.Decode(&doc); err != nil {
-		return nil, nil, fmt.Errorf("xmlio: parse: %w", err)
+	doc, pos, err := DecodeDocument(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	return FromDocumentOptimized(&doc, o.keyLoader)
+	return fromDocumentOptimized(doc, pos, o.keyLoader)
 }
 
 // ReadFileOptimized parses path with replica degrees; keysFile

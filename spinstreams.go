@@ -45,6 +45,7 @@ import (
 
 	"spinstreams/internal/core"
 	"spinstreams/internal/faultinject"
+	"spinstreams/internal/lint"
 	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
 	"spinstreams/internal/opt"
@@ -293,6 +294,23 @@ func ReadTopologyFile(path string) (*Topology, error) { return xmlio.ReadFile(pa
 
 // WriteTopology serializes a topology as XML.
 func WriteTopology(w io.Writer, name string, t *Topology) error { return xmlio.Write(w, name, t) }
+
+// Static verification ("spinstreams vet") re-exports.
+type (
+	// LintConfig tunes a verification run; see lint.Config.
+	LintConfig = lint.Config
+	// LintReport is the outcome: diagnostics with stable SS-codes,
+	// renderable as text, JSON, or SARIF; see lint.Report.
+	LintReport = lint.Report
+	// LintDiagnostic is one finding; see lint.Diagnostic.
+	LintDiagnostic = lint.Diagnostic
+)
+
+// Vet statically verifies a topology: graph shape, probability and key
+// mass, cost-model convergence, optional fusion-candidate and
+// rewrite-trace checks. The optimizer pipeline runs the same checks as a
+// mandatory pre-pass.
+func Vet(t *Topology, cfg LintConfig) *LintReport { return lint.Run(t, cfg) }
 
 // PaperExample builds the six-operator fusion example of Section 5.4
 // (Figure 11 / Tables 1-2) and the subgraph the paper fuses.

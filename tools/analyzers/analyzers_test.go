@@ -1,0 +1,171 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// The tests typecheck synthetic snippets against stub packages registered
+// under the real import paths ("sync/atomic", the mailbox package): the
+// analyzers key only on package paths and method names, so minimal
+// non-generic stubs exercise the same detection logic without depending
+// on export data for the real packages.
+
+const atomicStub = `package atomic
+type Uint64 struct{ v uint64 }
+func (u *Uint64) Add(d uint64) uint64 { u.v += d; return u.v }
+func (u *Uint64) Load() uint64        { return u.v }
+func (u *Uint64) Store(x uint64)      { u.v = x }
+type Bool struct{ v bool }
+func (b *Bool) Load() bool   { return b.v }
+func (b *Bool) Store(x bool) { b.v = x }
+`
+
+const mailboxStub = `package mailbox
+type SendResult int
+type Sender struct{}
+func (s *Sender) Send(v int) SendResult                { return 0 }
+func (s *Sender) SendMany(vs []int) (int, int, bool)   { return 0, 0, false }
+func (s *Sender) Flush()                               {}
+type Mailbox struct{}
+func (m *Mailbox) Drain() int { return 0 }
+`
+
+// mapImporter resolves imports from pre-typechecked stub packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m[path]; ok {
+		return pkg, nil
+	}
+	return importer.Default().Import(path)
+}
+
+func checkStub(t *testing.T, fset *token.FileSet, path, src string) *types.Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := (&types.Config{Importer: mapImporter{}}).Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// analyze typechecks src against the stubs and runs a over it.
+func analyze(t *testing.T, a *Analyzer, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := mapImporter{
+		"sync/atomic":  checkStub(t, fset, "sync/atomic", atomicStub),
+		mailboxPkgPath: checkStub(t, fset, mailboxPkgPath, mailboxStub),
+	}
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{Importer: imp}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return a.Run(&Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info})
+}
+
+func lines(t *testing.T, fset *token.FileSet, ds []Diagnostic) []int {
+	t.Helper()
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = fset.Position(d.Pos).Line
+	}
+	return out
+}
+
+func TestAtomicCellAllowsMethodAndAddress(t *testing.T) {
+	ds := analyze(t, AtomicCell, `package p
+import "sync/atomic"
+type Cell struct {
+	Consumed atomic.Uint64
+	Degraded atomic.Bool
+}
+func ok(c *Cell) uint64 {
+	c.Consumed.Add(1)
+	c.Degraded.Store(true)
+	p := &c.Consumed
+	return p.Load()
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("clean code flagged: %v", ds)
+	}
+}
+
+func TestAtomicCellFlagsCopies(t *testing.T) {
+	src := `package p
+import "sync/atomic"
+type Cell struct {
+	Consumed atomic.Uint64
+}
+func bad(c, d *Cell) {
+	x := c.Consumed
+	_ = x
+	c.Consumed = d.Consumed
+}
+`
+	ds := analyze(t, AtomicCell, src)
+	// Line 7 copies the cell; line 9 assigns it (both sides flagged).
+	if len(ds) != 3 {
+		t.Fatalf("want 3 diagnostics, got %d: %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Message == "" {
+			t.Error("empty message")
+		}
+	}
+}
+
+func TestMailboxAccountAllowsCheckedResults(t *testing.T) {
+	ds := analyze(t, MailboxAccount, fmt.Sprintf(`package p
+import mb %q
+func ok(s *mb.Sender, m *mb.Mailbox) int {
+	if s.Send(1) != 0 {
+		return 0
+	}
+	sent, dropped, _ := s.SendMany(nil)
+	s.Flush()
+	return sent + dropped + m.Drain()
+}
+`, mailboxPkgPath))
+	if len(ds) != 0 {
+		t.Fatalf("clean code flagged: %v", ds)
+	}
+}
+
+func TestMailboxAccountFlagsDiscards(t *testing.T) {
+	ds := analyze(t, MailboxAccount, fmt.Sprintf(`package p
+import mb %q
+func bad(s *mb.Sender, m *mb.Mailbox) {
+	s.Send(1)
+	_ = s.Send(2)
+	_, _, _ = s.SendMany(nil)
+	m.Drain()
+	go s.Send(3)
+	defer m.Drain()
+}
+`, mailboxPkgPath))
+	if len(ds) != 6 {
+		t.Fatalf("want 6 diagnostics, got %d: %v", len(ds), ds)
+	}
+}

@@ -1,0 +1,83 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCell forbids non-atomic access to struct fields of sync/atomic
+// types, such as the obs metrics registry's counter cells. A field like
+// `Consumed atomic.Uint64` must be used as a method receiver
+// (`c.Consumed.Add(1)`) or through its address (`&c.Consumed`); any other
+// use — assigning it, copying it into a variable, passing it by value —
+// duplicates the cell and the copy's updates are lost.
+var AtomicCell = &Analyzer{
+	Name: "atomiccell",
+	Doc:  "flag non-atomic access to sync/atomic struct fields (copying or assigning a counter cell)",
+	Run:  runAtomicCell,
+}
+
+// atomicType reports whether t (after pointer indirection) is a named
+// type defined in sync/atomic, e.g. atomic.Uint64 or atomic.Bool.
+func atomicType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func runAtomicCell(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !atomicType(selection.Type()) {
+				return true
+			}
+			if len(stack) < 2 {
+				return true
+			}
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.SelectorExpr:
+				// c.Consumed.Add(1) / c.Consumed.Load(): the cell is a method
+				// receiver; the method's own atomicity applies.
+				if parent.X == sel {
+					return true
+				}
+			case *ast.UnaryExpr:
+				// &c.Consumed: passing the cell by address keeps it shared.
+				if parent.Op.String() == "&" && parent.X == sel {
+					return true
+				}
+			}
+			fieldName := selection.Obj().Name()
+			diags = append(diags, Diagnostic{
+				Pos: sel.Pos(),
+				Message: fmt.Sprintf(
+					"non-atomic access to %s field %s: use its methods or take its address, copying a %s tears the counter",
+					selection.Type(), fieldName, selection.Type()),
+			})
+			return true
+		})
+	}
+	return diags
+}

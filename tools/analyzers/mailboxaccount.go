@@ -1,0 +1,102 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MailboxAccount enforces the dataplane's tuple-accounting contract: the
+// results of mailbox Send, SendMany and Drain carry the accounting
+// outcome — a SendResult (Sent/Dropped/Closed/Timeout) or drained/sent
+// counts that the caller must fold into its metrics. A call whose result
+// is discarded (an expression statement, an all-blank assignment, or a
+// go/defer statement) pushes tuples the books never see.
+var MailboxAccount = &Analyzer{
+	Name: "mailboxaccount",
+	Doc:  "flag discarded results of mailbox Send/SendMany/Drain (tuple accounting must be updated)",
+	Run:  runMailboxAccount,
+}
+
+// mailboxMethods are the result-carrying methods the pass guards.
+var mailboxMethods = map[string]bool{
+	"Send":     true,
+	"SendMany": true,
+	"Drain":    true,
+}
+
+const mailboxPkgPath = "spinstreams/internal/mailbox"
+
+// mailboxCall reports whether call is a guarded method call on a mailbox
+// type, returning the method name.
+func mailboxCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !mailboxMethods[sel.Sel.Name] {
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Path() != mailboxPkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func runMailboxAccount(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, name, how string) {
+		diags = append(diags, Diagnostic{
+			Pos: call.Pos(),
+			Message: fmt.Sprintf(
+				"result of mailbox %s discarded (%s): the accounting outcome must reach the metrics", name, how),
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if name, ok := mailboxCall(pass.Info, call); ok {
+						report(call, name, "expression statement")
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := mailboxCall(pass.Info, stmt.Call); ok {
+					report(stmt.Call, name, "go statement")
+				}
+			case *ast.DeferStmt:
+				if name, ok := mailboxCall(pass.Info, stmt.Call); ok {
+					report(stmt.Call, name, "defer statement")
+				}
+			case *ast.AssignStmt:
+				allBlank := len(stmt.Rhs) == 1
+				for _, lhs := range stmt.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if !allBlank {
+					return true
+				}
+				if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok {
+					if name, ok := mailboxCall(pass.Info, call); ok {
+						report(call, name, "assigned to blank")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

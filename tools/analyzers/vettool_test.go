@@ -1,0 +1,32 @@
+package analyzers
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolEndToEnd builds cmd/ssvet and drives it through the real
+// `go vet -vettool` protocol over a package subset that exercises both
+// passes (the mailbox dataplane and the obs counter cells).
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "ssvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ssvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build ssvet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/mailbox", "./internal/obs", "./tools/analyzers")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
