@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"spinstreams/internal/mailbox"
 	"spinstreams/internal/obs"
 	"spinstreams/internal/operators"
+	"spinstreams/internal/opt"
 	"spinstreams/internal/qsim"
 	"spinstreams/internal/randtopo"
 	"spinstreams/internal/runtime"
@@ -310,6 +312,90 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			},
 		}
 		data, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconfigStall measures the cost of live reconfiguration: each
+// iteration starts a controller on an unpadded 4-operator pipeline,
+// applies a grow/grow/shrink rescale sequence while tuples flow, and
+// collects every pause-fence stall. The reported metric is the p99 fence
+// stall in milliseconds — the time reconfigured stations (and only they)
+// were paused; unaffected stations keep running throughout. Set
+// SS_BENCH_JSON=<path> to merge the p99 into the bench trajectory record
+// (CI gates it against the committed BENCH_runtime.json baseline with
+// cmd/benchgate).
+func BenchmarkReconfigStall(b *testing.B) {
+	topo := core.NewTopology()
+	var prev core.OpID
+	for i, spec := range []struct {
+		name string
+		kind core.Kind
+	}{
+		{"src", core.KindSource},
+		{"stage1", core.KindStateless},
+		{"stage2", core.KindStateless},
+		{"sink", core.KindSink},
+	} {
+		id := topo.MustAddOperator(core.Operator{Name: spec.name, Kind: spec.kind, ServiceTime: 0.001})
+		if i > 0 {
+			topo.MustConnect(prev, id, 1)
+		}
+		prev = id
+	}
+	var stalls []time.Duration
+	for i := 0; i < b.N; i++ {
+		c, err := runtime.StartTopology(topo, nil, nil, runtime.Config{
+			Seed:                uint64(i + 1),
+			MailboxSize:         64,
+			NoServicePadding:    true,
+			ReconfigStallBudget: 10 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, step := range []opt.ReplicaChange{
+			{Operator: "stage1", From: 1, To: 2},
+			{Operator: "stage2", From: 1, To: 3},
+			{Operator: "stage2", From: 3, To: 2},
+		} {
+			time.Sleep(20 * time.Millisecond)
+			if _, err := c.ApplyDelta(&opt.DeltaPlan{Changes: []opt.ReplicaChange{step}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stalls = append(stalls, c.Stalls()...)
+		if _, err := c.Stop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(stalls) == 0 {
+		b.Fatal("no stalls recorded")
+	}
+	sort.Slice(stalls, func(i, j int) bool { return stalls[i] < stalls[j] })
+	idx := (99*len(stalls) + 99) / 100
+	if idx > len(stalls) {
+		idx = len(stalls)
+	}
+	p99 := float64(stalls[idx-1]) / float64(time.Millisecond)
+	b.ReportMetric(p99, "stall-p99-ms")
+	if path := os.Getenv("SS_BENCH_JSON"); path != "" {
+		// Merge into the record BenchmarkRuntimeRawThroughput wrote (the
+		// benchmarks run in declaration order, so that file exists by now
+		// when both are selected), preserving its series.
+		doc := map[string]any{}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		doc["reconfig_stall_p99_ms"] = p99
+		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			b.Fatal(err)
 		}

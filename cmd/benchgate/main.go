@@ -30,6 +30,10 @@ type record struct {
 	Benchmark string             `json:"benchmark"`
 	TuplesPer map[string]float64 `json:"tuples_per_sec"`
 	ObsOver   map[string]float64 `json:"obs_overhead"`
+	// ReconfigStallP99Ms is BenchmarkReconfigStall's p99 pause-fence
+	// stall, merged into the same record; zero when the benchmark did not
+	// run (older baselines), which disables the stall gate.
+	ReconfigStallP99Ms float64 `json:"reconfig_stall_p99_ms"`
 }
 
 // optRecord mirrors the JSON written by BenchmarkSolverCacheAutoFuse in
@@ -82,6 +86,8 @@ func main() {
 	candidatePath := flag.String("candidate", "", "freshly measured record (required)")
 	maxRegression := flag.Float64("max-regression", 0.20, "max allowed fractional drop in batched throughput")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if candidate obs_overhead exceeds this fraction (0 disables)")
+	maxStallFactor := flag.Float64("max-stall-factor", 4.0, "max allowed growth factor of the reconfiguration p99 stall over baseline")
+	stallFloorMs := flag.Float64("stall-floor-ms", 1.0, "ignore stall regressions while the candidate p99 stays under this many ms (scheduler noise floor)")
 	optBaselinePath := flag.String("opt-baseline", "BENCH_optimizer.json", "committed solver-cache baseline record")
 	optCandidatePath := flag.String("opt-candidate", "", "freshly measured solver-cache record (enables the optimizer gate)")
 	minOptRatio := flag.Float64("min-opt-ratio", 2.0, "min direct/cached solve ratio for the optimizer gate")
@@ -156,6 +162,21 @@ func main() {
 					k, ov*100, *maxObsOverhead*100)
 				failed = true
 			}
+		}
+	}
+	// The reconfiguration stall gate: live ApplyDelta pauses only the
+	// rescaled stations, and the fence must stay cheap. Active only when
+	// both records carry the metric; sub-millisecond candidates are inside
+	// scheduler noise and never fail.
+	if base.ReconfigStallP99Ms > 0 && cand.ReconfigStallP99Ms > 0 {
+		fmt.Printf("%-14s baseline p99 %8.3f ms  candidate %8.3f ms  %+6.1f%%\n",
+			"reconfig-stall", base.ReconfigStallP99Ms, cand.ReconfigStallP99Ms,
+			(cand.ReconfigStallP99Ms/base.ReconfigStallP99Ms-1)*100)
+		if cand.ReconfigStallP99Ms > *stallFloorMs &&
+			cand.ReconfigStallP99Ms > base.ReconfigStallP99Ms**maxStallFactor {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL reconfiguration p99 stall %.3f ms exceeds %.1fx baseline %.3f ms\n",
+				cand.ReconfigStallP99Ms, *maxStallFactor, base.ReconfigStallP99Ms)
+			failed = true
 		}
 	}
 	if failed {

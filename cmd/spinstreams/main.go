@@ -10,6 +10,7 @@
 //	spinstreams fuse       -in topo.xml -members op3,op4,op5 [-name F] [-out fused.xml]
 //	spinstreams generate   -in topo.xml -out main.go [-members ...]
 //	spinstreams run        -in topo.xml [-duration 5s] [-replicas auto] [-drift] [-reoptimize]
+//	spinstreams run        -in topo.xml -autotune [-autotune-rounds N] [-autotune-interval 2s] [-reconfig-stall-budget 1s]
 //	spinstreams simulate   -in topo.xml [-horizon 40]
 //	spinstreams vet        -in topo.xml [-members ...] [-trace trace.json] [-format text|json|sarif] [-o report]
 package main
@@ -520,6 +521,10 @@ func cmdRun(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics Prometheus text, /snapshot JSON, /debug/vars expvar)")
 	drift := fs.Bool("drift", false, "after the run, compare the cost model's predictions against the measured rates")
 	reoptimize := fs.Bool("reoptimize", false, "after the run, re-run the optimizer on the measured profiles and print the delta plan")
+	autotune := fs.Bool("autotune", false, "close the loop live: measure, re-optimize, and apply delta plans in-flight without a restart")
+	autotuneRounds := fs.Int("autotune-rounds", 2, "measure/re-optimize/apply rounds with -autotune")
+	autotuneInterval := fs.Duration("autotune-interval", 2*time.Second, "measurement window per autotune round")
+	stallBudget := fs.Duration("reconfig-stall-budget", time.Second, "max pause a live reconfiguration may hold before it aborts")
 	vet := fs.Bool("vet", false, "print positioned vet diagnostics for the input before running")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -533,6 +538,18 @@ func cmdRun(args []string) error {
 	// so nonsense explicitly typed on the command line is rejected here.
 	if *mailbox <= 0 {
 		return fmt.Errorf("run: -mailbox %d, want > 0", *mailbox)
+	}
+	if *autotuneInterval <= 0 {
+		return fmt.Errorf("run: -autotune-interval %v, want > 0", *autotuneInterval)
+	}
+	if *stallBudget <= 0 {
+		return fmt.Errorf("run: -reconfig-stall-budget %v, want > 0", *stallBudget)
+	}
+	if *autotuneRounds <= 0 {
+		return fmt.Errorf("run: -autotune-rounds %d, want > 0", *autotuneRounds)
+	}
+	if *autotune && *nodes > 1 {
+		return fmt.Errorf("run: -autotune reconfigures the in-process engine and is incompatible with -nodes > 1")
 	}
 	transport, err := mbox.ParseMode(*mode)
 	if err != nil {
@@ -570,17 +587,19 @@ func cmdRun(args []string) error {
 		binding.Ops[core.OpID(i)] = op
 	}
 	runCfg := runtime.Config{
-		Duration:    *duration,
-		Warmup:      *warmup,
-		MailboxSize: *mailbox,
-		Seed:        *seed,
-		Mailbox:     transport,
-		Batch:       *batch,
-		Linger:      *linger,
-		MaxRestarts: *maxRestarts,
+		Duration:            *duration,
+		Warmup:              *warmup,
+		MailboxSize:         *mailbox,
+		Seed:                *seed,
+		Mailbox:             transport,
+		Batch:               *batch,
+		Linger:              *linger,
+		MaxRestarts:         *maxRestarts,
+		ReconfigStallBudget: *stallBudget,
+		AutotuneInterval:    *autotuneInterval,
 	}
 	var reg *obs.Registry
-	if *metricsAddr != "" || *drift || *reoptimize {
+	if *metricsAddr != "" || *drift || *reoptimize || *autotune {
 		reg = obs.New()
 		runCfg.Obs = reg
 	}
@@ -593,7 +612,39 @@ func cmdRun(args []string) error {
 		fmt.Printf("metrics: http://%s/metrics\n", bound)
 	}
 	var m *runtime.Metrics
-	if *nodes > 1 {
+	if *autotune {
+		c, err := runtime.StartTopology(t, replicas, binding, runCfg)
+		if err != nil {
+			return err
+		}
+		rep, aerr := c.Autotune(context.Background(), runtime.AutotuneOptions{
+			Interval: *autotuneInterval,
+			Rounds:   *autotuneRounds,
+			OnRound: func(r runtime.AutotuneRound) {
+				fmt.Printf("autotune round %d: measured %.1f items/s (model %.1f, err %+.1f%%)\n",
+					r.Round, r.Drift.MeasuredThroughput, r.Drift.PredictedThroughput, 100*r.Drift.ThroughputErr)
+				switch {
+				case r.Apply != nil:
+					fmt.Printf("  applied live (epoch %d, stall %s, %d keys migrated):\n", r.Apply.Epoch, r.Apply.Stall, r.Apply.MigratedKeys)
+					fmt.Print(r.Delta.String())
+				case r.Delta != nil && !r.Delta.Empty():
+					fmt.Println("  delta proposed but not applied:")
+					fmt.Print(r.Delta.String())
+				default:
+					fmt.Println("  deployment already optimal under the measured profiles")
+				}
+			},
+		})
+		replicas = c.Replicas()
+		m, err = c.Stop()
+		if aerr != nil {
+			return aerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("autotune: applied %d delta plan(s) over %d round(s) without a restart\n", rep.Applied(), len(rep.Rounds))
+	} else if *nodes > 1 {
 		p, err := plan.Build(t, plan.Options{Replicas: replicas})
 		if err != nil {
 			return err

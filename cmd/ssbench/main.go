@@ -10,6 +10,7 @@
 //	ssbench -exp fig7live           # accuracy against the live goroutine runtime
 //	ssbench -exp drift              # predict→optimize→run→verify walkthrough (paper example)
 //	ssbench -exp reopt              # drift→reoptimize walkthrough (delta plan from measured profiles)
+//	ssbench -exp autotune           # live autonomic loop: measure, re-optimize, apply the delta in-flight
 //	ssbench -quick                  # smaller testbed, shorter horizon
 //	ssbench -csv out/               # also export each data series as CSV
 package main
@@ -37,7 +38,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift, reopt (live runs only with -exp fig7live / -exp drift / -exp reopt)")
+	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift, reopt, autotune (live runs only with -exp fig7live / -exp drift / -exp reopt / -exp autotune)")
 	seed := flag.Uint64("seed", 42, "testbed seed")
 	topologies := flag.Int("topologies", 50, "testbed size")
 	horizon := flag.Float64("horizon", 40, "simulated seconds per measurement")
@@ -50,7 +51,9 @@ func run() error {
 	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
 	liveRestarts := flag.Int("max-restarts", 0, "fig7live: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
 	driftTable := flag.Int("drift-table", 2, "drift: paper-example service-time variant (1 or 2)")
-	reoptSlow := flag.Float64("reopt-slow", 3, "reopt: factor by which the deployed hot operator is slower than declared")
+	reoptSlow := flag.Float64("reopt-slow", 3, "reopt/autotune: factor by which the deployed hot operator is slower than declared")
+	autotuneRounds := flag.Int("autotune-rounds", 3, "autotune: measure/re-optimize/apply rounds")
+	autotuneInterval := flag.Duration("autotune-interval", 800*time.Millisecond, "autotune: measurement window per round")
 	flag.Parse()
 	liveTransport, err := mailbox.ParseMode(*liveMailbox)
 	if err != nil {
@@ -190,6 +193,18 @@ func run() error {
 		case "reopt":
 			res, err := experiments.ReoptimizeDemo(context.Background(), *reoptSlow, experiments.LiveOptions{
 				Duration:    *liveDuration,
+				Transport:   liveTransport,
+				Batch:       *liveBatch,
+				Linger:      *liveLinger,
+				MaxRestarts: *liveRestarts,
+			})
+			if err != nil {
+				return err
+			}
+			return publish(name, res)
+		case "autotune":
+			res, err := experiments.AutotuneDemo(context.Background(), *reoptSlow, *autotuneRounds, experiments.LiveOptions{
+				Duration:    *autotuneInterval,
 				Transport:   liveTransport,
 				Batch:       *liveBatch,
 				Linger:      *liveLinger,

@@ -112,6 +112,47 @@ func replayStep(rep *Report, cur **core.Topology, cfg Config, pass string, i int
 			}
 		}
 		return true
+	case "live_apply":
+		// A live reconfiguration step: the runtime rescaled an operator's
+		// replicas or split a fused station back into its members while
+		// the topology kept running. Live steps change the physical plan
+		// only, so the replay checks them against the logical topology
+		// without mutating it.
+		id, ok := lookup(s.Operator)
+		if !ok {
+			return false
+		}
+		op := t.Op(id)
+		if len(s.Members) > 0 {
+			// Fusion undo: the operator must actually be a fused vertex
+			// and the recorded members must be its members.
+			if len(op.Fused) == 0 {
+				rep.add(Diagnostic{Code: CodeTraceReplay, Operator: s.Operator,
+					Message: fmt.Sprintf("%s step %d records a live fusion undo of %q, which is not a fused operator", pass, i, s.Operator)})
+				return false
+			}
+			fused := make(map[string]bool, len(op.Fused))
+			for _, m := range op.Fused {
+				fused[m] = true
+			}
+			for _, m := range s.Members {
+				if !fused[m] {
+					rep.add(Diagnostic{Code: CodeTraceReplay, Operator: s.Operator,
+						Message: fmt.Sprintf("%s step %d records live unfusing member %q, which %q does not contain", pass, i, m, s.Operator)})
+				}
+			}
+			return true
+		}
+		if s.Replicas < 1 {
+			rep.add(Diagnostic{Code: CodeTraceReplay, Operator: s.Operator,
+				Message: fmt.Sprintf("%s step %d records a live rescale of %q to %d replicas, want >= 1", pass, i, s.Operator, s.Replicas)})
+		}
+		if s.Replicas > 1 && !op.Kind.CanReplicate() {
+			rep.add(Diagnostic{Code: CodeTraceReplay, Operator: s.Operator,
+				Message: fmt.Sprintf("%s step %d records a live rescale of %q to %d replicas, but its kind %s cannot be replicated", pass, i, s.Operator, s.Replicas, op.Kind)})
+			return false
+		}
+		return true
 	case "fuse":
 		members := make([]core.OpID, 0, len(s.Members))
 		for _, m := range s.Members {

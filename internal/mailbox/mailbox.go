@@ -177,6 +177,20 @@ func (m *Mailbox[T]) Queued() int {
 // Capacity returns the BAS bound the mailbox was built with.
 func (m *Mailbox[T]) Capacity() int { return m.capacity }
 
+// Pending reports how many tuples the consumer can still receive: the
+// queued tuples plus, in batched mode, the unread tail of the batch the
+// consumer is part-way through (whose credits were already released at
+// receive time, so Queued misses it). It may only be called from the
+// consumer's goroutine; the runtime's drain-before-pause protocol uses it
+// to decide when a station has fully quiesced.
+func (m *Mailbox[T]) Pending() int {
+	n := m.Queued()
+	if m.mode == Batched && m.cur != nil {
+		n += len(m.cur) - m.idx
+	}
+	return n
+}
+
 // Blocked returns the number of send episodes that found the mailbox at
 // capacity and had to wait for a credit (or shed on timeout) — one count
 // per stall, not per tuple. It is the mailbox's backpressure signal.

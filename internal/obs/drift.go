@@ -67,6 +67,12 @@ func groupOps(sts []StationSnapshot) ([]opGroup, error) {
 		if ss.Op < 0 {
 			return nil, fmt.Errorf("obs: station %d (%s) has negative op", i, ss.Name)
 		}
+		if ss.Retired {
+			// Stations a live reconfiguration drained and stopped: their
+			// lifetime counters stay in Totals, but rates and profiles
+			// must reflect the structure currently flowing.
+			continue
+		}
 		g := &groups[ss.Op]
 		switch ss.Role {
 		case "source", "worker":

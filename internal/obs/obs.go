@@ -72,6 +72,10 @@ type Station struct {
 	Receives atomic.Uint64
 	// Degraded reports whether the station exhausted its restart budget.
 	Degraded atomic.Bool
+	// Retired reports that a live reconfiguration drained and stopped the
+	// station; its lifetime counters stay in the totals, but windowed
+	// drift measurements skip it so rates reflect the live structure.
+	Retired atomic.Bool
 
 	// Service holds sampled per-tuple service times in nanoseconds. In
 	// batched mode one sample is the batch's mean per-tuple time and
@@ -176,6 +180,26 @@ func (r *Registry) Bind(infos []StationInfo) []*Station {
 	return sts
 }
 
+// Extend appends stations to a bound registry without resetting it; the
+// live reconfigurer uses it to register the stations an ApplyDelta
+// creates mid-run. It returns the cells for the new stations only.
+func (r *Registry) Extend(infos []StationInfo) []*Station {
+	sts := make([]*Station, len(infos))
+	for i := range infos {
+		sts[i] = &Station{
+			Info:         infos[i],
+			Service:      stats.NewHistogram(),
+			InterArrival: stats.NewHistogram(),
+			QueueDepth:   stats.NewHistogram(),
+			BatchSize:    stats.NewHistogram(),
+		}
+	}
+	r.mu.Lock()
+	r.stations = append(r.stations, sts...)
+	r.mu.Unlock()
+	return sts
+}
+
 // Stations returns the bound stations (nil before Bind).
 func (r *Registry) Stations() []*Station {
 	r.mu.Lock()
@@ -267,6 +291,7 @@ type StationSnapshot struct {
 	Restarts     uint64 `json:"restarts"`
 	Receives     uint64 `json:"receives"`
 	Degraded     bool   `json:"degraded"`
+	Retired      bool   `json:"retired,omitempty"`
 	Queued       uint64 `json:"queued"`
 	Capacity     uint64 `json:"capacity"`
 	BlockedSends uint64 `json:"blocked_sends"`
@@ -322,6 +347,7 @@ func (r *Registry) Snapshot() *Snapshot {
 			Restarts:     st.Restarts.Load(),
 			Receives:     st.Receives.Load(),
 			Degraded:     st.Degraded.Load(),
+			Retired:      st.Retired.Load(),
 			Service:      st.Service.Summary(),
 			InterArrival: st.InterArrival.Summary(),
 			QueueDepth:   st.QueueDepth.Summary(),

@@ -3,6 +3,7 @@ package opt
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"spinstreams/internal/core"
@@ -54,16 +55,32 @@ type DeltaPlan struct {
 // Empty reports a no-op plan.
 func (p *DeltaPlan) Empty() bool { return len(p.Changes) == 0 && len(p.Undo) == 0 }
 
-// String renders the plan as the table the CLI prints.
+// sortedChanges returns the replica changes ordered by operator name, so
+// renderings and traces are byte-stable regardless of discovery order.
+func (p *DeltaPlan) sortedChanges() []ReplicaChange {
+	cs := append([]ReplicaChange(nil), p.Changes...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Operator < cs[j].Operator })
+	return cs
+}
+
+// sortedUndo returns the fusion undos ordered by operator name.
+func (p *DeltaPlan) sortedUndo() []FusionUndo {
+	us := append([]FusionUndo(nil), p.Undo...)
+	sort.Slice(us, func(i, j int) bool { return us[i].Operator < us[j].Operator })
+	return us
+}
+
+// String renders the plan as the table the CLI prints. Changes and undos
+// are sorted by operator, so reconfiguration logs are byte-stable.
 func (p *DeltaPlan) String() string {
 	var b strings.Builder
 	if p.Empty() {
 		b.WriteString("re-optimization: configuration already optimal for the measured profiles\n")
 	}
-	for _, c := range p.Changes {
+	for _, c := range p.sortedChanges() {
 		fmt.Fprintf(&b, "replicas %-20s %d -> %d\n", c.Operator, c.From, c.To)
 	}
-	for _, u := range p.Undo {
+	for _, u := range p.sortedUndo() {
 		fmt.Fprintf(&b, "unfuse   %-20s (members: %s; rho %.3f under measured profiles)\n",
 			u.Operator, strings.Join(u.Members, ", "), u.Rho)
 	}

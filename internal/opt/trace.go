@@ -79,6 +79,13 @@ const (
 	StepFuse = "fuse"
 	// StepFuseReject records a rejected fusion candidate.
 	StepFuseReject = "fuse-reject"
+	// StepLiveApply records the in-flight application of one DeltaPlan
+	// entry by the runtime's reconfigurer: a replica rescale (Operator,
+	// FromReplicas -> Replicas) or a fusion undo (Operator split back
+	// into Members). Live steps change the physical plan, not the
+	// logical topology, so provenance replay checks them without
+	// mutating the replayed topology.
+	StepLiveApply = "live_apply"
 )
 
 // TraceStep is one decision. Which fields are meaningful depends on
@@ -142,6 +149,58 @@ func (p *PassTrace) corrections(t *core.Topology, a *core.Analysis) {
 			SourceRate:       c.SourceRate,
 		})
 	}
+}
+
+// liveApplyPass renders a delta plan as one live_apply pass: replica
+// changes first, fusion undos second, each group sorted by operator.
+func liveApplyPass(d *DeltaPlan) *PassTrace {
+	p := &PassTrace{
+		Pass:             "live_apply",
+		ThroughputBefore: d.PredictedBefore,
+		ThroughputAfter:  d.PredictedAfter,
+	}
+	for _, c := range d.sortedChanges() {
+		p.step(TraceStep{
+			Action:       StepLiveApply,
+			Operator:     c.Operator,
+			FromReplicas: c.From,
+			Replicas:     c.To,
+		})
+	}
+	for _, u := range d.sortedUndo() {
+		p.step(TraceStep{
+			Action:   StepLiveApply,
+			Operator: u.Operator,
+			Members:  append([]string(nil), u.Members...),
+			Rho:      u.Rho,
+		})
+	}
+	return p
+}
+
+// AppendLiveApply appends a live_apply pass documenting that the runtime
+// applied the delta plan in flight, so the re-optimization run's trace
+// also covers what actually happened to the running plan.
+func (tr *Trace) AppendLiveApply(d *DeltaPlan) *PassTrace {
+	p := liveApplyPass(d)
+	tr.Passes = append(tr.Passes, p)
+	return p
+}
+
+// LiveTrace builds the rewrite trace of a live reconfiguration, anchored
+// at the deployed topology: its fingerprint is the deployed topology's
+// (not the re-profiled one the optimizer ran on), and its only pass is
+// the live_apply record of the delta plan. Live steps do not rewrite the
+// logical topology, so the final fingerprint equals the input one and
+// `spinstreams vet -trace` can replay the trace against the deployed
+// topology's XML.
+func LiveTrace(t *core.Topology, d *DeltaPlan) *Trace {
+	tr := newTrace(NewSnapshot(t))
+	tr.ThroughputBefore = d.PredictedBefore
+	tr.ThroughputAfter = d.PredictedAfter
+	tr.Passes = append(tr.Passes, liveApplyPass(d))
+	tr.FinalFingerprint = tr.Fingerprint
+	return tr
 }
 
 // JSON renders the trace as indented JSON.

@@ -98,6 +98,16 @@ type Station struct {
 	// KeyReplica maps key -> replica slot for KeyHash emitters; replica
 	// slot i corresponds to Out[i].
 	KeyReplica []int
+	// KeyFreq is the partitioning-key frequency distribution of a
+	// partitioned-stateful operator, carried on its emitter (and on its
+	// single worker while unreplicated) so a live reconfiguration can
+	// recompute the key->replica assignment without the logical topology.
+	KeyFreq []float64
+	// Member selects the fused sub-operator a station executes after a
+	// live fusion undo split the fused station back into its members.
+	// Zero means "not a member station"; otherwise the sub-operator ID
+	// is Member-1 in the meta-operator's original subgraph.
+	Member int
 }
 
 // Plan is a physical execution plan.
@@ -205,6 +215,7 @@ func Build(t *core.Topology, opts Options) (*Plan, error) {
 				InputSelectivity:  op.InputSelectivity,
 				OutputSelectivity: op.OutputSelectivity,
 				Discipline:        Probabilistic,
+				KeyFreq:           keyFreq(op),
 			})
 			p.WorkersOf[i] = []StationID{sid}
 			p.EntryOf[i] = sid
@@ -237,6 +248,7 @@ func Build(t *core.Topology, opts Options) (*Plan, error) {
 				InputSelectivity:  op.InputSelectivity,
 				OutputSelectivity: op.OutputSelectivity,
 				Discipline:        Probabilistic,
+				KeyFreq:           keyFreq(op),
 			})
 			p.WorkersOf[i] = []StationID{sid}
 			p.EntryOf[i] = sid
@@ -247,6 +259,7 @@ func Build(t *core.Topology, opts Options) (*Plan, error) {
 			ServiceTime: opts.EmitterServiceTime, Gain: 1,
 			Discipline: discipline,
 			KeyReplica: keyReplica,
+			KeyFreq:    keyFreq(op),
 		})
 		var workers []StationID
 		for r := 0; r < n; r++ {
@@ -304,6 +317,16 @@ func Build(t *core.Topology, opts Options) (*Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// keyFreq copies the key frequency distribution of partitioned-stateful
+// operators onto their stations, so live reconfiguration can re-partition
+// without consulting the logical topology.
+func keyFreq(op *core.Operator) []float64 {
+	if op.Kind != core.KindPartitionedStateful || len(op.Keys.Freq) == 0 {
+		return nil
+	}
+	return append([]float64(nil), op.Keys.Freq...)
 }
 
 // NumWorkers returns the number of worker stations (replicas included).

@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/lint"
+	"spinstreams/internal/obs"
+	"spinstreams/internal/operators"
+)
+
+// slowOp is a unit-gain stateless operator whose real cost exceeds
+// whatever the model declares: the drift injection for autotune tests.
+type slowOp struct{ d time.Duration }
+
+func (s *slowOp) Name() string           { return "slow" }
+func (s *slowOp) Meta() operators.Meta   { return operators.Meta{Kind: core.KindStateless} }
+func (s *slowOp) Clone() operators.Operator { return &slowOp{d: s.d} }
+
+func (s *slowOp) Process(in operators.Tuple, emit operators.Emit) {
+	time.Sleep(s.d)
+	emit(in)
+}
+
+// TestControllerAutotuneEndToEnd closes the paper's autonomic loop live:
+// a deployment whose hot operator runs 3x slower than declared is
+// measured, re-optimized, and rescaled in-flight — no restart — after
+// which the measured throughput recovers and the applied delta's
+// provenance trace replays cleanly under the linter.
+func TestControllerAutotuneEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second autonomic loop")
+	}
+	model := core.NewTopology()
+	src := model.MustAddOperator(core.Operator{Name: "source", Kind: core.KindSource, ServiceTime: 2e-3})
+	hot := model.MustAddOperator(core.Operator{Name: "hot", Kind: core.KindStateless, ServiceTime: 1e-3})
+	sink := model.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 0.2e-3})
+	model.MustConnect(src, hot, 1)
+	model.MustConnect(hot, sink, 1)
+
+	// Declared: 1ms (rho 0.5 at the 500/s source). Deployed: 3ms.
+	binding := &Binding{Ops: map[core.OpID]operators.Operator{
+		hot: &slowOp{d: 3 * time.Millisecond},
+	}}
+	reg := obs.New()
+	cfg := Config{
+		Seed:                31,
+		Warmup:              300 * time.Millisecond,
+		ReconfigStallBudget: 5 * time.Second,
+		Obs:                 reg,
+	}
+	c, err := StartTopology(model, nil, binding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Autotune(context.Background(), AutotuneOptions{
+		Interval: 700 * time.Millisecond,
+		Rounds:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied() < 1 {
+		t.Fatalf("autotune applied no delta in %d rounds", len(rep.Rounds))
+	}
+	var applied *AutotuneRound
+	for i := range rep.Rounds {
+		if rep.Rounds[i].Apply != nil {
+			applied = &rep.Rounds[i]
+			break
+		}
+	}
+	if applied.Delta.Empty() || applied.Apply.Rescaled < 1 {
+		t.Errorf("applied round: delta %s, report %+v", applied.Delta, applied.Apply)
+	}
+	if applied.Drift == nil || applied.Drift.MeasuredProfiles == nil {
+		t.Error("applied round carries no drift profiles")
+	}
+	if got := c.Replicas()[hot]; got < 2 {
+		t.Errorf("hot replicas = %d, want >= 2 after autotune", got)
+	}
+
+	// The replica change is visible in the live observability snapshot.
+	snap := reg.Snapshot()
+	found := false
+	for _, ss := range snap.Stations {
+		if strings.HasPrefix(ss.Name, "hot/replica") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no hot/replica* station in the obs snapshot")
+	}
+
+	// The live_apply trace replays cleanly against the deployed topology.
+	if applied.Trace == nil {
+		t.Fatal("applied round has no live trace")
+	}
+	traceJSON, err := applied.Trace.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrep := lint.Run(model, lint.Config{Trace: traceJSON})
+	if lrep.HasErrors() {
+		t.Errorf("live trace replay has errors:\n%+v", lrep.Diagnostics)
+	}
+
+	// Stop measures the final (post-apply) window: throughput must have
+	// recovered past the single-instance ceiling of 1/3ms.
+	m := mustStop(t, c)
+	if m.Throughput < 370 {
+		t.Errorf("post-apply throughput = %.1f/s, want > 370/s (pre-apply ceiling ~333/s)", m.Throughput)
+	}
+	checkConserved(t, m)
+}

@@ -54,13 +54,17 @@ func (b *Binding) validate(p *plan.Plan) error {
 	return nil
 }
 
-// executor returns the per-station processing function and whether it
-// paces itself. Emitters and collectors forward items unchanged; workers
-// apply their bound operator (cloned per station) or meta-operator;
-// unbound workers pass through. Meta-operators pad internally to the
-// per-item path cost (Algorithm 4), so the station loop must not pad them
-// again to the fused mean.
-func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tuple, *[]routed), selfPaced bool) {
+// executor returns the per-station processing function, whether it paces
+// itself, and the live operator instance behind it (nil for pass-throughs
+// and the ordering closures). The instance is exposed so the lifecycle
+// seam can carry it across a pause and the reconfiguration controller can
+// migrate its keyed state. Emitters and collectors forward items
+// unchanged; workers apply their bound operator (cloned per station) or
+// meta-operator; member stations produced by a live fusion undo clone the
+// fused member's prototype; unbound workers pass through. Meta-operators
+// pad internally to the per-item path cost (Algorithm 4), so the station
+// loop must not pad them again to the fused mean.
+func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tuple, *[]routed), selfPaced bool, inst operators.Operator, minst *metaInstance) {
 	switch st.Role {
 	case plan.RoleEmitter:
 		if cfg.PreserveOrder && stationGain(st) == 1 {
@@ -71,9 +75,9 @@ func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tu
 				seq++
 				in.Seq = seq
 				*outs = append(*outs, routed{tuple: in, dest: -1})
-			}, false
+			}, false, nil, nil
 		}
-		return forward, false
+		return forward, false, nil, nil
 	case plan.RoleCollector:
 		if cfg.PreserveOrder && stationGain(st) == 1 {
 			next := uint64(1)
@@ -89,24 +93,31 @@ func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tu
 					next++
 					*outs = append(*outs, routed{tuple: t, dest: -1})
 				}
-			}, false
+			}, false, nil, nil
 		}
-		return forward, false
+		return forward, false, nil, nil
+	}
+	// A member station runs one sub-operator of a formerly fused vertex
+	// (st.Op still names the fused vertex, so this must be resolved before
+	// the Meta lookup would instantiate the whole meta-operator again).
+	if st.Member > 0 && b.Meta != nil {
+		if m, ok := b.Meta[st.Op]; ok {
+			if proto, ok := m.Prototypes[core.OpID(st.Member-1)]; ok {
+				op := proto.Clone()
+				return opExec(op), false, op, nil
+			}
+		}
 	}
 	if b.Meta != nil {
 		if m, ok := b.Meta[st.Op]; ok {
-			inst := m.instance(cfg)
-			return inst.process, true
+			mi := m.instance(cfg)
+			return mi.process, true, nil, mi
 		}
 	}
 	if b.Ops != nil {
 		if proto, ok := b.Ops[st.Op]; ok {
 			op := proto.Clone()
-			return func(in operators.Tuple, outs *[]routed) {
-				op.Process(in, func(t operators.Tuple) {
-					*outs = append(*outs, routed{tuple: t, dest: -1})
-				})
-			}, false
+			return opExec(op), false, op, nil
 		}
 	}
 	// Unbound worker: emulate the station's profiled selectivity exactly,
@@ -123,12 +134,23 @@ func (b *Binding) executor(st *plan.Station, cfg Config) (exec func(operators.Tu
 				credit--
 				*outs = append(*outs, routed{tuple: in, dest: -1})
 			}
-		}, false
+		}, false, nil, nil
 	}
 	// A nil executor marks the trivial unit-gain pass-through; the actor
 	// loops forward the input tuple directly, skipping the closure call
 	// and the routed-slice round trip per item.
-	return nil, false
+	return nil, false, nil, nil
+}
+
+// opExec wraps a concrete operator instance into the station processing
+// closure; kept separate so migrations can rebuild the closure around an
+// instance whose state they just moved.
+func opExec(op operators.Operator) func(operators.Tuple, *[]routed) {
+	return func(in operators.Tuple, outs *[]routed) {
+		op.Process(in, func(t operators.Tuple) {
+			*outs = append(*outs, routed{tuple: t, dest: -1})
+		})
+	}
 }
 
 // forward passes items through unchanged (plain emitters and collectors).

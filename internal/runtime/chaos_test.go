@@ -117,8 +117,9 @@ func checkRegistryConservation(t *testing.T, m *Metrics, reg *obs.Registry) {
 // credit: no mailbox still accounts queued tuples.
 func checkCreditsRestored(t *testing.T, e *engine) {
 	t.Helper()
-	for i := range e.mailboxes {
-		if q := e.mailboxes[i].Queued(); q != 0 {
+	tb := e.tab()
+	for i := range tb.mailboxes {
+		if q := tb.mailboxes[i].Queued(); q != 0 {
 			t.Fatalf("station %d mailbox still holds %d credits after drain", i, q)
 		}
 	}

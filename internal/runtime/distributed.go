@@ -222,7 +222,7 @@ func (o *remoteOutbox) send(t operators.Tuple) error {
 	if o.err != nil {
 		// Dead edge (legacy mode) or shutdown: account the tuple here so
 		// the caller doesn't have to.
-		o.d.st[o.from].Abandoned.Add(1)
+		o.d.tab().st[o.from].Abandoned.Add(1)
 		return o.err
 	}
 	o.buf = append(o.buf, t)
@@ -251,7 +251,7 @@ func (o *remoteOutbox) flushLocked() error {
 		// Legacy mode: the first write error permanently kills the edge
 		// and its sending station; the frame never left.
 		o.err = errEdgeDown
-		o.d.st[o.from].Abandoned.Add(uint64(len(o.buf)))
+		o.d.tab().st[o.from].Abandoned.Add(uint64(len(o.buf)))
 		o.buf = o.buf[:0]
 		return o.err
 	}
@@ -269,7 +269,7 @@ func (o *remoteOutbox) retryLocked() error {
 		o.conn.Close()
 		if !o.d.sleepBackoff(back) {
 			o.err = errShutdown
-			o.d.st[o.from].Abandoned.Add(uint64(len(o.buf)))
+			o.d.tab().st[o.from].Abandoned.Add(uint64(len(o.buf)))
 			o.buf = o.buf[:0]
 			return o.err
 		}
@@ -277,8 +277,8 @@ func (o *remoteOutbox) retryLocked() error {
 			back *= 2
 		}
 		if time.Since(start) >= o.deadline {
-			o.d.st[o.from].Emitted.Add(uint64(len(o.buf)))
-			o.d.st[o.target].Dropped.Add(uint64(len(o.buf)))
+			o.d.tab().st[o.from].Emitted.Add(uint64(len(o.buf)))
+			o.d.tab().st[o.target].Dropped.Add(uint64(len(o.buf)))
 			o.buf = o.buf[:0]
 			return nil
 		}
@@ -307,7 +307,7 @@ func (o *remoteOutbox) abort() {
 		o.timer.Stop()
 	}
 	if n := len(o.buf); n > 0 {
-		o.d.st[o.from].Abandoned.Add(uint64(n))
+		o.d.tab().st[o.from].Abandoned.Add(uint64(n))
 		o.buf = nil
 	}
 	if o.err == nil {
@@ -346,10 +346,12 @@ func (d *distEngine) sleepBackoff(dur time.Duration) bool {
 // physical edge.
 func (d *distEngine) connect() error {
 	// The per-edge frame counters must exist before any acceptLoop can
-	// hand a connection to a readLoop.
+	// hand a connection to a readLoop. The distributed engine never
+	// reconfigures, so its initial tables stay current for the whole run.
+	p := d.tab().p
 	d.edges = make(map[int]*obs.Edge)
-	for i := range d.p.Stations {
-		for _, e := range d.p.Stations[i].Out {
+	for i := range p.Stations {
+		for _, e := range p.Stations[i].Out {
 			if d.assignment[i] != d.assignment[e.To] {
 				k := edgeKey(plan.StationID(i), e.To)
 				d.edges[k] = d.reg.Edge(i, int(e.To))
@@ -369,9 +371,9 @@ func (d *distEngine) connect() error {
 	}
 
 	d.senders = make(map[plan.StationID]map[plan.StationID]*remoteOutbox)
-	for i := range d.p.Stations {
+	for i := range p.Stations {
 		from := plan.StationID(i)
-		for _, e := range d.p.Stations[i].Out {
+		for _, e := range p.Stations[i].Out {
 			if d.assignment[from] == d.assignment[e.To] {
 				continue
 			}
@@ -463,7 +465,8 @@ func (d *distEngine) readLoop(conn net.Conn) {
 	if err := dec.Decode(&hs); err != nil {
 		return
 	}
-	if int(hs.Target) < 0 || int(hs.Target) >= len(d.mailboxes) {
+	tb := d.tab()
+	if int(hs.Target) < 0 || int(hs.Target) >= len(tb.mailboxes) {
 		return
 	}
 	ed := d.edges[edgeKey(hs.From, hs.Target)]
@@ -474,7 +477,7 @@ func (d *distEngine) readLoop(conn net.Conn) {
 	// The reader gets its own producer handle on the target mailbox; a
 	// blocking admission (no timeout) is what stalls the TCP stream and
 	// propagates backpressure to the remote writer.
-	snd := d.mailboxes[hs.Target].NewSender(0)
+	snd := tb.mailboxes[hs.Target].NewSender(0)
 	for {
 		var w wire
 		if err := dec.Decode(&w); err != nil {
@@ -486,16 +489,16 @@ func (d *distEngine) readLoop(conn net.Conn) {
 				// Shutdown mid-frame: the undelivered remainder is
 				// decoded in-flight residue, accounted like mailbox
 				// drain residue.
-				d.st[hs.Target].Drained.Add(uint64(len(w.Tuples) - i))
+				tb.st[hs.Target].Drained.Add(uint64(len(w.Tuples) - i))
 				return
 			}
 			// Both ends of the edge are counted here: emission is only
 			// final once the item clears the network and lands in the
 			// target mailbox (TCP windowing makes sender-side counts
 			// bursty).
-			d.st[hs.Target].Arrived.Add(1)
-			if int(hs.From) >= 0 && int(hs.From) < len(d.st) {
-				d.st[hs.From].Emitted.Add(1)
+			tb.st[hs.Target].Arrived.Add(1)
+			if int(hs.From) >= 0 && int(hs.From) < len(tb.st) {
+				tb.st[hs.From].Emitted.Add(1)
 			}
 		}
 	}
@@ -519,13 +522,14 @@ func (d *distEngine) shutdownTransport() {
 func (d *distEngine) send(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool {
 	if outs := d.senders[from]; outs != nil {
 		if ob := outs[edge.To]; ob != nil {
+			tb := d.tab()
 			select {
 			case <-d.done:
-				d.st[from].Abandoned.Add(1)
+				tb.st[from].Abandoned.Add(1)
 				return false
 			default:
 			}
-			if f := d.stFaults[from]; f != nil {
+			if f := tb.stFaults[from]; f != nil {
 				f.OnSend()
 			}
 			// Every error return from ob.send has already accounted the
@@ -544,20 +548,21 @@ func (d *distEngine) send(from plan.StationID, edgeIdx int, edge *plan.Edge, t o
 func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool {
 	if outs := d.senders[from]; outs != nil {
 		if ob := outs[edge.To]; ob != nil {
+			tb := d.tab()
 			select {
 			case <-d.done:
-				d.st[from].Abandoned.Add(uint64(len(ts)))
+				tb.st[from].Abandoned.Add(uint64(len(ts)))
 				return false
 			default:
 			}
-			if f := d.stFaults[from]; f != nil {
+			if f := tb.stFaults[from]; f != nil {
 				f.OnSend()
 			}
 			for i := range ts {
 				if ob.send(ts[i]) != nil {
 					// ts[i] was accounted by the outbox; the tail never
 					// went anywhere.
-					d.st[from].Abandoned.Add(uint64(len(ts) - i - 1))
+					tb.st[from].Abandoned.Add(uint64(len(ts) - i - 1))
 					return false
 				}
 			}
@@ -571,10 +576,8 @@ func (d *distEngine) sendMany(from plan.StationID, edgeIdx int, edge *plan.Edge,
 // unblocking TCP writers on shutdown.
 func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
 	rng := stats.NewRNG(d.cfg.Seed + 0x517c)
-	for i := range d.p.Stations {
-		st := &d.p.Stations[i]
-		d.wg.Add(1)
-		go d.runStation(st, rng.Uint64())
+	for i := range d.tab().p.Stations {
+		d.spawnStation(plan.StationID(i), rng.Uint64(), nil, nil)
 	}
 	sleepCtx(ctx, d.cfg.Warmup)
 	snap1 := d.snapshotAll()
@@ -591,6 +594,7 @@ func (d *distEngine) run(ctx context.Context) (*Metrics, error) {
 		_ = c.SetDeadline(time.Now())
 	}
 	d.mu.Unlock()
+	d.interruptStations()
 	d.wg.Wait()
 	// Drain-on-shutdown: stations are gone, so tear the transport down
 	// and wait for the readers (they are the last producers into the

@@ -9,6 +9,14 @@
 // emitter and collector actors; fused subgraphs execute inside a single
 // meta-operator actor per Algorithm 4.
 //
+// The engine is structured for live reconfiguration: all routing state
+// (plan, mailboxes, senders, counter cells) lives in an atomically
+// swappable tables value, and every station goroutine runs lifecycle
+// segments separated by a park/resume handshake (lifecycle.go). The
+// Controller (reconfig.go) uses that seam to apply opt.DeltaPlan replica
+// rescales and fusion undos while tuples keep flowing through the
+// unaffected part of the plan.
+//
 // Because operators' real compute cost is far below the profiled service
 // times the experiments assign, workers pad each item to the station's
 // service time with a timed wait. Sleeping actors overlap freely, so the
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spinstreams/internal/core"
@@ -65,7 +74,10 @@ type Config struct {
 	// scheduling and collection, to preserve the sequential ordering" the
 	// paper mentions for pipelined fission). It applies only to operators
 	// with unit gain — with selectivity, replicas drop or multiply items
-	// and a sequence-based reorder buffer would stall.
+	// and a sequence-based reorder buffer would stall. Live
+	// reconfiguration refuses ordered plans (the reorder state cannot yet
+	// be migrated), so PreserveOrder and Controller.ApplyDelta are
+	// mutually exclusive.
 	PreserveOrder bool
 	// Mailbox selects the dataplane transport: mailbox.PerTuple (default)
 	// sends every item as one channel operation; mailbox.Batched moves
@@ -88,6 +100,16 @@ type Config struct {
 	// on a dead operator and capacity credits keep returning) and counts
 	// every tuple as failed. Negative restarts without bound.
 	MaxRestarts int
+	// ReconfigStallBudget bounds how long a live reconfiguration
+	// (Controller.ApplyDelta) may spend pausing and draining the affected
+	// stations. If the fence cannot be established within the budget the
+	// reconfiguration aborts, every paused station resumes unchanged, and
+	// ApplyDelta reports the timeout. Default 1s.
+	ReconfigStallBudget time.Duration
+	// AutotuneInterval is the measurement-window length of one
+	// Controller.Autotune round: measure for the interval, re-optimize on
+	// the drift report, apply the delta, repeat. Default 2s.
+	AutotuneInterval time.Duration
 	// Faults, when non-nil, injects that deterministic fault schedule
 	// into the run: per-tuple operator slowdowns and panics, per-send
 	// delays, and — under the distributed engine — connection resets.
@@ -143,6 +165,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Linger == 0 {
 		c.Linger = mailbox.DefaultLinger
 	}
+	if c.ReconfigStallBudget < 0 {
+		return c, fmt.Errorf("runtime: negative ReconfigStallBudget %v", c.ReconfigStallBudget)
+	}
+	if c.ReconfigStallBudget == 0 {
+		c.ReconfigStallBudget = time.Second
+	}
+	if c.AutotuneInterval < 0 {
+		return c, fmt.Errorf("runtime: negative AutotuneInterval %v", c.AutotuneInterval)
+	}
+	if c.AutotuneInterval == 0 {
+		c.AutotuneInterval = 2 * time.Second
+	}
 	if c.Generator == nil {
 		g, err := operators.NewGenerator(operators.GeneratorConfig{Seed: c.Seed + 1})
 		if err != nil {
@@ -190,9 +224,11 @@ type Metrics struct {
 //
 //	Generated == Delivered + Shed + Failed + Drained + Abandoned
 //
-// holds exactly — the chaos suite asserts it under injected faults.
-// Operators with non-unit selectivity break the identity by design
-// (they consume or multiply tuples inside the operator).
+// holds exactly — the chaos suite asserts it under injected faults, and
+// across live reconfigurations (stations retired by an ApplyDelta keep
+// their lifetime counters in the sums). Operators with non-unit
+// selectivity break the identity by design (they consume or multiply
+// tuples inside the operator).
 type Totals struct {
 	// Generated counts tuples produced by source stations.
 	Generated uint64
@@ -232,6 +268,9 @@ type StationMetrics struct {
 	// Degraded reports whether the station exhausted its restart budget
 	// and spent the rest of the run discarding (and accounting) input.
 	Degraded bool
+	// Retired reports that a live reconfiguration drained and stopped the
+	// station before the run ended.
+	Retired bool
 }
 
 // routed couples an output tuple with an optional explicit logical
@@ -244,16 +283,21 @@ type routed struct {
 
 // engine is one execution of a plan.
 type engine struct {
-	p         *plan.Plan
-	cfg       Config
-	binding   *Binding
-	mailboxes []*mailbox.Mailbox[operators.Tuple]
-	// senders[station][edgeIdx] is the station's producer handle for its
-	// edgeIdx-th output edge; each station goroutine owns its senders, so
-	// partial micro-batches are single-writer.
-	senders [][]*mailbox.Sender[operators.Tuple]
-	done    chan struct{}
-	wg      sync.WaitGroup
+	cfg     Config
+	binding *Binding
+	// live is the current epoch's routing state (plan, mailboxes, senders,
+	// counter cells, fault streams); see tables in lifecycle.go. Station
+	// goroutines re-read it at every lifecycle-segment boundary; the
+	// reconfiguration controller swaps it while affected stations are
+	// parked.
+	live atomic.Pointer[tables]
+	done chan struct{}
+	wg   sync.WaitGroup
+	// ctls[i] is station i's lifecycle handle (nil for never-spawned
+	// slots); guarded by ctlMu because reconfiguration appends entries
+	// while stations run.
+	ctlMu sync.Mutex
+	ctls  []*stationCtl
 
 	// sendFn delivers one routed item along a physical edge (edgeIdx
 	// indexes the station's Out slice); the local engine pushes into the
@@ -266,38 +310,36 @@ type engine struct {
 	sendManyFn func(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool
 
 	// reg is the observability registry every counter flows through (the
-	// single accounting path; Metrics is a view over it) and st is its
-	// per-station cell slice, indexed by StationID — one pointer chase per
-	// atomic add, same cost as the engine-private counter slices it
-	// replaced. When the caller didn't supply a registry, reg is private.
+	// single accounting path; Metrics is a view over it). The per-station
+	// cell slice lives in tables.st, indexed by StationID — one pointer
+	// chase per atomic add. When the caller didn't supply a registry, reg
+	// is private.
 	reg *obs.Registry
-	st  []*obs.Station
 	// tracers are the registry's lifecycle hooks, fetched once; sample
 	// enables the timed histogram instrumentation (caller-supplied
 	// registry only — see Config.Obs).
 	tracers []obs.Tracer
 	sample  bool
-	// stFaults[i] is station i's injected fault stream (nil entries when
-	// no injector is configured); fetched once so the per-tuple hot path
-	// is a nil check.
-	stFaults []*faultinject.StationFaults
 }
 
 // newEngine allocates the shared engine state.
 func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 	e := &engine{
-		p:         p,
-		cfg:       cfg,
-		binding:   binding,
-		mailboxes: make([]*mailbox.Mailbox[operators.Tuple], len(p.Stations)),
-		senders:   make([][]*mailbox.Sender[operators.Tuple], len(p.Stations)),
-		done:      make(chan struct{}),
-		reg:       cfg.Obs,
-		sample:    cfg.Obs != nil,
-		stFaults:  make([]*faultinject.StationFaults, len(p.Stations)),
+		cfg:     cfg,
+		binding: binding,
+		done:    make(chan struct{}),
+		reg:     cfg.Obs,
+		sample:  cfg.Obs != nil,
 	}
 	if e.reg == nil {
 		e.reg = obs.New()
+	}
+	tb := &tables{
+		p:         p,
+		mailboxes: make([]*mailbox.Mailbox[operators.Tuple], len(p.Stations)),
+		senders:   make([][]*mailbox.Sender[operators.Tuple], len(p.Stations)),
+		stFaults:  make([]*faultinject.StationFaults, len(p.Stations)),
+		retired:   make([]bool, len(p.Stations)),
 	}
 	infos := make([]obs.StationInfo, len(p.Stations))
 	for i := range p.Stations {
@@ -310,14 +352,14 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 			Sink:   len(st.Out) == 0,
 		}
 	}
-	e.st = e.reg.Bind(infos)
+	tb.st = e.reg.Bind(infos)
 	e.tracers = e.reg.Tracers()
 	if cfg.Faults != nil {
-		for i := range e.stFaults {
-			e.stFaults[i] = cfg.Faults.Station(i)
+		for i := range tb.stFaults {
+			tb.stFaults[i] = cfg.Faults.Station(i)
 		}
 	}
-	for i := range e.mailboxes {
+	for i := range tb.mailboxes {
 		m, err := mailbox.New[operators.Tuple](mailbox.Config{
 			Capacity: cfg.MailboxSize,
 			Mode:     cfg.Mailbox,
@@ -327,21 +369,26 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runtime: station %d: %w", i, err)
 		}
-		e.mailboxes[i] = m
+		tb.mailboxes[i] = m
 	}
 	for i := range p.Stations {
 		out := p.Stations[i].Out
-		e.senders[i] = make([]*mailbox.Sender[operators.Tuple], len(out))
+		tb.senders[i] = make([]*mailbox.Sender[operators.Tuple], len(out))
 		for j := range out {
-			e.senders[i][j] = e.mailboxes[out[j].To].NewSender(cfg.SendTimeout)
+			tb.senders[i][j] = tb.mailboxes[out[j].To].NewSender(cfg.SendTimeout)
 		}
 	}
+	e.live.Store(tb)
 	// Mailbox gauges (queue depth, capacity, blocked sends) reach
 	// snapshots through the sampler — the mailboxes outlive the run, so
-	// post-run snapshots still see the final figures.
-	mbs := e.mailboxes
+	// post-run snapshots still see the final figures. The sampler reads
+	// the live tables because reconfiguration can append stations.
 	e.reg.SetSampler(func(i int) obs.Gauges {
-		m := mbs[i]
+		cur := e.tab()
+		if i >= len(cur.mailboxes) {
+			return obs.Gauges{}
+		}
+		m := cur.mailboxes[i]
 		return obs.Gauges{
 			Queued:       uint64(m.Queued()),
 			Capacity:     uint64(m.Capacity()),
@@ -359,26 +406,27 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 // timeout can only reject the item being admitted: tuples a mailbox has
 // already accepted are never dropped, in either transport mode.
 func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t operators.Tuple) bool {
-	if f := e.stFaults[from]; f != nil {
+	tb := e.tab()
+	if f := tb.stFaults[from]; f != nil {
 		f.OnSend()
 	}
-	switch e.senders[from][edgeIdx].Send(t, e.done) {
+	switch tb.senders[from][edgeIdx].Send(t, e.done) {
 	case mailbox.Sent:
-		e.st[from].Emitted.Add(1)
-		e.st[edge.To].Arrived.Add(1)
+		tb.st[from].Emitted.Add(1)
+		tb.st[edge.To].Arrived.Add(1)
 		if len(e.tracers) != 0 {
 			e.fireEmit(from, 1)
 		}
 		return true
 	case mailbox.Dropped:
-		e.st[from].Emitted.Add(1)
-		e.st[edge.To].Dropped.Add(1)
+		tb.st[from].Emitted.Add(1)
+		tb.st[edge.To].Dropped.Add(1)
 		if len(e.tracers) != 0 {
 			e.fireEmit(from, 1)
 		}
 		return true
 	default: // mailbox.Closed: engine shutdown; the tuple was never admitted.
-		e.st[from].Abandoned.Add(1)
+		tb.st[from].Abandoned.Add(1)
 		return false
 	}
 }
@@ -387,15 +435,16 @@ func (e *engine) localSend(from plan.StationID, edgeIdx int, edge *plan.Edge, t 
 // semantics match per-tuple sends exactly: every admitted tuple counts as
 // emitted and arrived, every shed tuple as emitted and dropped.
 func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge, ts []operators.Tuple) bool {
-	if f := e.stFaults[from]; f != nil {
+	tb := e.tab()
+	if f := tb.stFaults[from]; f != nil {
 		f.OnSend()
 	}
-	sent, dropped, ok := e.senders[from][edgeIdx].SendMany(ts, e.done)
+	sent, dropped, ok := tb.senders[from][edgeIdx].SendMany(ts, e.done)
 	if n := uint64(sent + dropped); n > 0 {
-		e.st[from].Emitted.Add(n)
-		e.st[edge.To].Arrived.Add(uint64(sent))
+		tb.st[from].Emitted.Add(n)
+		tb.st[edge.To].Arrived.Add(uint64(sent))
 		if dropped > 0 {
-			e.st[edge.To].Dropped.Add(uint64(dropped))
+			tb.st[edge.To].Dropped.Add(uint64(dropped))
 		}
 		if len(e.tracers) != 0 {
 			e.fireEmit(from, sent+dropped)
@@ -404,7 +453,7 @@ func (e *engine) localSendMany(from plan.StationID, edgeIdx int, edge *plan.Edge
 	if !ok {
 		// Shutdown aborted the delivery part-way: the tail was never
 		// admitted anywhere.
-		e.st[from].Abandoned.Add(uint64(len(ts) - sent - dropped))
+		tb.st[from].Abandoned.Add(uint64(len(ts) - sent - dropped))
 	}
 	return ok
 }
@@ -446,13 +495,13 @@ const sampleMask = 127
 
 // newProbe returns a probe for the station, or nil when timed sampling is
 // off (Config.Obs == nil).
-func (e *engine) newProbe(id plan.StationID) *probe {
+func (e *engine) newProbe(tb *tables, id plan.StationID) *probe {
 	if !e.sample {
 		return nil
 	}
 	return &probe{
-		st:      e.st[id],
-		inbox:   e.mailboxes[id],
+		st:      tb.st[id],
+		inbox:   tb.mailboxes[id],
 		tracers: e.tracers,
 		traced:  len(e.tracers) > 0,
 		id:      int(id),
@@ -571,15 +620,19 @@ func Run(ctx context.Context, p *plan.Plan, binding *Binding, cfg Config) (*Metr
 	return e.execute(ctx)
 }
 
+// startStations spawns one goroutine per station of the initial plan.
+func (e *engine) startStations() {
+	rng := stats.NewRNG(e.cfg.Seed + 0x9e37)
+	tb := e.tab()
+	for i := range tb.p.Stations {
+		e.spawnStation(plan.StationID(i), rng.Uint64(), nil, nil)
+	}
+}
+
 // execute starts the actors, measures the steady-state window and builds
 // the metrics; shared by the local and distributed engines.
 func (e *engine) execute(ctx context.Context) (*Metrics, error) {
-	rng := stats.NewRNG(e.cfg.Seed + 0x9e37)
-	for i := range e.p.Stations {
-		st := &e.p.Stations[i]
-		e.wg.Add(1)
-		go e.runStation(st, rng.Uint64())
-	}
+	e.startStations()
 
 	// Warmup, snapshot, measure, snapshot, stop. The registry window marks
 	// bracket the same steady-state interval, so WindowRates and the drift
@@ -592,9 +645,7 @@ func (e *engine) execute(ctx context.Context) (*Metrics, error) {
 	snap2 := e.snapshotAll()
 	e.reg.MarkWindowEnd()
 	window := time.Since(start).Seconds()
-	close(e.done)
-	e.wg.Wait()
-	e.drainMailboxes()
+	e.shutdown()
 	return e.buildMetrics(window, snap1, snap2), nil
 }
 
@@ -603,11 +654,13 @@ func (e *engine) execute(ctx context.Context) (*Metrics, error) {
 // capacity credit returns to its mailbox. Station goroutines flush their
 // partial sender batches on exit (flushStationSenders), which
 // happens-before wg.Wait, so by the time this runs all surviving tuples
-// sit in mailboxes.
+// sit in mailboxes — including the mailboxes of stations a live
+// reconfiguration retired mid-run.
 func (e *engine) drainMailboxes() {
-	for i := range e.mailboxes {
-		if n := e.mailboxes[i].Drain(); n > 0 {
-			e.st[i].Drained.Add(uint64(n))
+	tb := e.tab()
+	for i := range tb.mailboxes {
+		if n := tb.mailboxes[i].Drain(); n > 0 {
+			tb.st[i].Drained.Add(uint64(n))
 		}
 	}
 }
@@ -618,7 +671,8 @@ type counterSnapshot struct {
 }
 
 func (e *engine) snapshotAll() counterSnapshot {
-	n := len(e.p.Stations)
+	tb := e.tab()
+	n := len(tb.p.Stations)
 	s := counterSnapshot{
 		consumed: make([]uint64, n),
 		emitted:  make([]uint64, n),
@@ -626,18 +680,30 @@ func (e *engine) snapshotAll() counterSnapshot {
 		dropped:  make([]uint64, n),
 	}
 	for i := 0; i < n; i++ {
-		s.consumed[i] = e.st[i].Consumed.Load()
-		s.emitted[i] = e.st[i].Emitted.Load()
-		s.arrived[i] = e.st[i].Arrived.Load()
-		s.dropped[i] = e.st[i].Dropped.Load()
+		s.consumed[i] = tb.st[i].Consumed.Load()
+		s.emitted[i] = tb.st[i].Emitted.Load()
+		s.arrived[i] = tb.st[i].Arrived.Load()
+		s.dropped[i] = tb.st[i].Dropped.Load()
 	}
 	return s
 }
 
+// at reads a snapshot slice that may predate stations a reconfiguration
+// added; missing entries read as zero (the station did not exist, so it
+// had consumed nothing).
+func at(s []uint64, i int) uint64 {
+	if i < len(s) {
+		return s[i]
+	}
+	return 0
+}
+
 // buildMetrics aggregates the two counter snapshots into per-operator and
-// per-station rates.
+// per-station rates, over the final tables (so stations added or retired
+// by live reconfiguration are included).
 func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Metrics {
-	p := e.p
+	tb := e.tab()
+	p := tb.p
 	m := &Metrics{
 		Departure:       make([]float64, len(p.WorkersOf)),
 		Arrival:         make([]float64, len(p.WorkersOf)),
@@ -646,8 +712,8 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 		Stations:        make([]StationMetrics, len(p.Stations)),
 	}
 	for i := range p.Stations {
-		consumed := snap2.consumed[i] - snap1.consumed[i]
-		emitted := snap2.emitted[i] - snap1.emitted[i]
+		consumed := at(snap2.consumed, i) - at(snap1.consumed, i)
+		emitted := at(snap2.emitted, i) - at(snap1.emitted, i)
 		m.Processed += consumed
 		m.Stations[i] = StationMetrics{
 			Name:        p.Stations[i].Name,
@@ -656,24 +722,26 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 			Emitted:     emitted,
 			ConsumeRate: float64(consumed) / window,
 			EmitRate:    float64(emitted) / window,
-			Restarts:    e.st[i].Restarts.Load(),
-			Degraded:    e.st[i].Degraded.Load(),
+			Restarts:    tb.st[i].Restarts.Load(),
+			Degraded:    tb.st[i].Degraded.Load(),
+			Retired:     tb.retired[i],
 		}
 		m.Restarts += m.Stations[i].Restarts
 		if m.Stations[i].Degraded {
 			m.Degraded++
 		}
 		// Lifetime totals (not windowed): see the Totals doc for the
-		// bucket definitions and the conservation identity.
+		// bucket definitions and the conservation identity. Retired
+		// stations are included — their history happened.
 		st := &p.Stations[i]
-		m.Totals.Shed += e.st[i].Dropped.Load()
-		m.Totals.Failed += e.st[i].Failed.Load()
-		m.Totals.Abandoned += e.st[i].Abandoned.Load()
-		m.Totals.Drained += e.st[i].Drained.Load()
+		m.Totals.Shed += tb.st[i].Dropped.Load()
+		m.Totals.Failed += tb.st[i].Failed.Load()
+		m.Totals.Abandoned += tb.st[i].Abandoned.Load()
+		m.Totals.Drained += tb.st[i].Drained.Load()
 		if st.Role == plan.RoleSource {
-			m.Totals.Generated += e.st[i].Consumed.Load()
+			m.Totals.Generated += tb.st[i].Consumed.Load()
 		} else if len(st.Out) == 0 {
-			m.Totals.Delivered += e.st[i].Emitted.Load()
+			m.Totals.Delivered += tb.st[i].Emitted.Load()
 		}
 	}
 	for op := range p.WorkersOf {
@@ -683,12 +751,12 @@ func (e *engine) buildMetrics(window float64, snap1, snap2 counterSnapshot) *Met
 		}
 		var emitted uint64
 		for _, sid := range outSide {
-			emitted += snap2.emitted[sid] - snap1.emitted[sid]
+			emitted += at(snap2.emitted, int(sid)) - at(snap1.emitted, int(sid))
 		}
 		m.Departure[op] = float64(emitted) / window
 		if entry := p.EntryOf[op]; entry >= 0 {
-			m.Arrival[op] = float64(snap2.arrived[entry]-snap1.arrived[entry]) / window
-			m.Dropped[op] = float64(snap2.dropped[entry]-snap1.dropped[entry]) / window
+			m.Arrival[op] = float64(at(snap2.arrived, int(entry))-at(snap1.arrived, int(entry))) / window
+			m.Dropped[op] = float64(at(snap2.dropped, int(entry))-at(snap1.dropped, int(entry))) / window
 		}
 	}
 	m.Throughput = m.Departure[p.Stations[p.SourceID].Op]
@@ -704,39 +772,64 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
-// runStation is the actor goroutine. The operator body runs in epochs: a
-// clean epoch ends at shutdown; a panicking epoch (an operator bug or an
-// injected fault) is recovered when Config.MaxRestarts enables recovery,
-// and the station restarts with a freshly bound operator instance until
-// its budget is spent, after which it degrades into an accounted discard
-// sink (runDegraded).
-func (e *engine) runStation(st *plan.Station, seed uint64) {
+// runStation is the actor goroutine, structured as lifecycle segments: a
+// segment runs the operator until shutdown or a pause request; between
+// segments the station parks and waits for the controller to release or
+// retire it, re-reading the routing tables afterwards so an epoch fence
+// can swap them while it is parked.
+func (e *engine) runStation(id plan.StationID, ctl *stationCtl, seed uint64) {
 	defer e.wg.Done()
-	// Drain-on-shutdown: hand partial output micro-batches to their
-	// target mailboxes on every exit path — each buffered tuple already
-	// holds a capacity credit, so the flush cannot block — where the
-	// engine's final drain pass accounts for them.
-	defer e.flushStationSenders(st.ID)
 	rng := stats.NewRNG(seed)
+	for {
+		e.stationSegment(id, ctl, rng)
+		// Hand partial output micro-batches to their target mailboxes on
+		// every segment exit — each buffered tuple already holds a
+		// capacity credit, so the flush cannot block — so either the
+		// controller (pause) or the final drain pass (shutdown) sees
+		// every surviving tuple in a mailbox.
+		e.flushStationSenders(e.tab(), id)
+		if e.isShutdown() {
+			return
+		}
+		if !ctl.park(e.done) {
+			return
+		}
+	}
+}
+
+// stationSegment runs the station until shutdown or a pause request. The
+// operator body runs in epochs: a clean epoch ends at the segment
+// boundary; a panicking epoch (an operator bug or an injected fault) is
+// recovered when Config.MaxRestarts enables recovery, and the station
+// restarts with a freshly bound operator instance until its budget is
+// spent, after which it degrades into an accounted discard sink
+// (runDegraded).
+func (e *engine) stationSegment(id plan.StationID, ctl *stationCtl, rng *stats.RNG) {
+	tb := e.tab()
+	st := &tb.p.Stations[id]
 	if st.Role == plan.RoleSource {
-		e.runSource(st, rng)
+		e.runSource(tb, st, ctl, rng)
+		return
+	}
+	if tb.st[id].Degraded.Load() {
+		e.runDegraded(tb, st, ctl)
 		return
 	}
 	for {
-		if e.stationEpoch(st, rng) {
+		if e.stationEpoch(tb, st, ctl, rng) {
 			return
 		}
-		if max := e.cfg.MaxRestarts; max >= 0 && e.st[st.ID].Restarts.Load() >= uint64(max) {
-			e.st[st.ID].Degraded.Store(true)
+		if max := e.cfg.MaxRestarts; max >= 0 && tb.st[id].Restarts.Load() >= uint64(max) {
+			tb.st[id].Degraded.Store(true)
 			for _, t := range e.tracers {
-				t.OnDegrade(int(st.ID))
+				t.OnDegrade(int(id))
 			}
-			e.runDegraded(st)
+			e.runDegraded(tb, st, ctl)
 			return
 		}
-		n := e.st[st.ID].Restarts.Add(1)
+		n := tb.st[id].Restarts.Add(1)
 		for _, t := range e.tracers {
-			t.OnRestart(int(st.ID), n)
+			t.OnRestart(int(id), n)
 		}
 	}
 }
@@ -744,8 +837,8 @@ func (e *engine) runStation(st *plan.Station, seed uint64) {
 // flushStationSenders pushes the station's partial output batches into
 // their target mailboxes and stops the linger timers. Buffered items
 // hold credits, so this never blocks.
-func (e *engine) flushStationSenders(id plan.StationID) {
-	for _, s := range e.senders[id] {
+func (e *engine) flushStationSenders(tb *tables, id plan.StationID) {
+	for _, s := range tb.senders[id] {
 		s.Flush()
 	}
 }
@@ -754,47 +847,82 @@ func (e *engine) flushStationSenders(id plan.StationID) {
 // exhausted, so upstream backpressure cannot deadlock on a dead
 // operator: every tuple is still consumed, counted as failed, and its
 // capacity credit returned.
-func (e *engine) runDegraded(st *plan.Station) {
-	inbox := e.mailboxes[st.ID]
+func (e *engine) runDegraded(tb *tables, st *plan.Station, ctl *stationCtl) {
+	inbox := tb.mailboxes[st.ID]
+	stop := ctl.stopCh()
 	for {
-		if _, ok := inbox.Recv(e.done); !ok {
-			return
+		_, ok := inbox.Recv(stop)
+		if !ok {
+			if e.isShutdown() {
+				return
+			}
+			if !ctl.drainRequested() || inbox.Pending() == 0 {
+				return
+			}
+			if _, ok = inbox.Recv(e.done); !ok {
+				return
+			}
 		}
-		e.st[st.ID].Consumed.Add(1)
-		e.st[st.ID].Failed.Add(1)
+		tb.st[st.ID].Consumed.Add(1)
+		tb.st[st.ID].Failed.Add(1)
 	}
 }
 
-// stationEpoch runs the operator until shutdown (true) or a recovered
-// panic (false). Every epoch binds a fresh operator instance, so a
-// restart cannot resurrect state the panic may have corrupted.
-func (e *engine) stationEpoch(st *plan.Station, rng *stats.RNG) bool {
-	exec, selfPaced := e.binding.executor(st, e.cfg)
+// stationEpoch runs the operator until the segment ends (true) or a
+// recovered panic (false). Each epoch binds its operator instance through
+// the lifecycle seam: a pause presets the live instance so state survives
+// the park, a restart binds a fresh one so a panic cannot resurrect state
+// it may have corrupted.
+func (e *engine) stationEpoch(tb *tables, st *plan.Station, ctl *stationCtl, rng *stats.RNG) bool {
+	exec, selfPaced, inst, minst := e.bindStation(st, ctl)
 	pace := newPacer(st.ServiceTime)
 	// Without padding the clock read per item is pure dataplane overhead
 	// (the pacer never runs); skip it so raw throughput measures the
 	// transport, not the vDSO.
 	usePace := !e.cfg.NoServicePadding && !selfPaced
 	if e.cfg.Mailbox == mailbox.Batched {
-		return e.stationEpochBatched(st, rng, exec, usePace, pace)
+		return e.stationEpochBatched(tb, st, ctl, rng, exec, usePace, pace, inst, minst)
 	}
-	return e.stationEpochTuple(st, rng, exec, usePace, pace)
+	return e.stationEpochTuple(tb, st, ctl, rng, exec, usePace, pace, inst, minst)
+}
+
+// bindStation resolves the operator instance for one epoch: a preset
+// carried across a pause (or installed by a migration) wins; otherwise
+// the binding clones a fresh instance. Either way the live instance is
+// published on the ctl so the controller can migrate its state while the
+// station is parked.
+func (e *engine) bindStation(st *plan.Station, ctl *stationCtl) (exec func(operators.Tuple, *[]routed), selfPaced bool, inst operators.Operator, minst *metaInstance) {
+	if mi := ctl.presetMeta; mi != nil {
+		ctl.preset, ctl.presetMeta = nil, nil
+		ctl.publish(nil, mi)
+		return mi.process, true, nil, mi
+	}
+	if op := ctl.preset; op != nil {
+		ctl.preset, ctl.presetMeta = nil, nil
+		ctl.publish(op, nil)
+		return opExec(op), false, op, nil
+	}
+	exec, selfPaced, inst, minst = e.binding.executor(st, e.cfg)
+	ctl.publish(inst, minst)
+	return exec, selfPaced, inst, minst
 }
 
 // stationEpochTuple is one per-tuple-transport epoch of the actor loop.
-func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) (clean bool) {
+func (e *engine) stationEpochTuple(tb *tables, st *plan.Station, ctl *stationCtl, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer, inst operators.Operator, minst *metaInstance) (clean bool) {
 	rr := 0
 	outs := make([]routed, 0, 8)
-	fl := e.stFaults[st.ID]
-	pr := e.newProbe(st.ID)
+	fl := tb.stFaults[st.ID]
+	pr := e.newProbe(tb, st.ID)
+	inbox := tb.mailboxes[st.ID]
+	stop := ctl.stopCh()
 	inHand := 0
 	if e.cfg.MaxRestarts != 0 {
 		defer func() {
 			if r := recover(); r != nil {
 				// The tuple in hand left the mailbox but its processing
 				// died with the panic; its partial outputs die with it.
-				e.st[st.ID].Consumed.Add(uint64(inHand))
-				e.st[st.ID].Failed.Add(uint64(inHand))
+				tb.st[st.ID].Consumed.Add(uint64(inHand))
+				tb.st[st.ID].Failed.Add(uint64(inHand))
 				clean = false
 			}
 		}()
@@ -803,9 +931,23 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 		exec = forward
 	}
 	for {
-		tup, ok := e.mailboxes[st.ID].Recv(e.done)
+		tup, ok := inbox.Recv(stop)
 		if !ok {
-			return true
+			if e.isShutdown() {
+				return true
+			}
+			// Pause requested. A drain-before-pause keeps consuming with
+			// the engine-wide done channel until the inbox is empty
+			// (producers are already parked, so no new input arrives);
+			// otherwise the live instance is carried across the park so
+			// operator state survives the pause.
+			if !ctl.drainRequested() || inbox.Pending() == 0 {
+				ctl.carry(inst, minst)
+				return true
+			}
+			if tup, ok = inbox.Recv(e.done); !ok {
+				return true
+			}
 		}
 		if pr != nil {
 			pr.onReceive(1)
@@ -827,11 +969,11 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 		if sampleSvc {
 			pr.onServe(started, 1)
 		}
-		e.st[st.ID].Consumed.Add(1)
+		tb.st[st.ID].Consumed.Add(1)
 		inHand = 0
 		if len(st.Out) == 0 {
 			// Sink: results leave the system.
-			e.st[st.ID].Emitted.Add(uint64(len(outs)))
+			tb.st[st.ID].Emitted.Add(uint64(len(outs)))
 			pr.onEmit(len(outs))
 			if e.cfg.OnSink != nil {
 				for _, o := range outs {
@@ -840,7 +982,7 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 			}
 			continue
 		}
-		if !e.flush(st, outs, rng, &rr) {
+		if !e.flush(tb, st, outs, rng, &rr) {
 			return true
 		}
 	}
@@ -853,14 +995,16 @@ func (e *engine) stationEpochTuple(st *plan.Station, rng *stats.RNG, exec func(o
 // queue synchronization and counter updates are amortized over batches.
 // Output buffers never persist across input batches, so the engine holds
 // no tuples outside a mailbox while idle — the upstream linger chain
-// bounds end-to-end latency exactly as in per-tuple mode.
-func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer) (clean bool) {
+// bounds end-to-end latency exactly as in per-tuple mode, and a pause
+// request always finds the buffers empty.
+func (e *engine) stationEpochBatched(tb *tables, st *plan.Station, ctl *stationCtl, rng *stats.RNG, exec func(operators.Tuple, *[]routed), usePace bool, pace *pacer, inst operators.Operator, minst *metaInstance) (clean bool) {
 	rr := 0
 	outs := make([]routed, 0, 8)
-	inbox := e.mailboxes[st.ID]
+	inbox := tb.mailboxes[st.ID]
+	stop := ctl.stopCh()
 	sink := len(st.Out) == 0
-	fl := e.stFaults[st.ID]
-	pr := e.newProbe(st.ID)
+	fl := tb.stFaults[st.ID]
+	pr := e.newProbe(tb, st.ID)
 	outBufs := make([][]operators.Tuple, len(st.Out))
 	for i := range outBufs {
 		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
@@ -875,7 +1019,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			outBufs[i] = outBufs[i][:0]
 		}
 		if n > 0 {
-			e.st[st.ID].Abandoned.Add(uint64(n))
+			tb.st[st.ID].Abandoned.Add(uint64(n))
 		}
 	}
 	var batch []operators.Tuple
@@ -887,8 +1031,8 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				// abandoned below); batch[k:] — the tuple in hand plus
 				// the unprocessed tail — died with the panic. The in-hand
 				// tuple's partial outputs in outs die with it.
-				e.st[st.ID].Consumed.Add(uint64(len(batch)))
-				e.st[st.ID].Failed.Add(uint64(len(batch) - k))
+				tb.st[st.ID].Consumed.Add(uint64(len(batch)))
+				tb.st[st.ID].Failed.Add(uint64(len(batch) - k))
 				abandonBufs(0)
 				clean = false
 			}
@@ -909,12 +1053,25 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			// About to go idle: hand partial output batches downstream
 			// so a quiet edge never strands tuples behind this
 			// station's empty inbox.
-			e.flushStationSenders(st.ID)
+			e.flushStationSenders(tb, st.ID)
 		}
 		var ok bool
-		batch, ok = inbox.RecvBatch(e.done)
+		batch, ok = inbox.RecvBatch(stop)
 		if !ok {
-			return true
+			if e.isShutdown() {
+				return true
+			}
+			// Pause requested; see stationEpochTuple for the drain
+			// protocol. Output buffers are empty here (flushed after
+			// every input batch), so only the operator instance needs to
+			// cross the park.
+			if !ctl.drainRequested() || inbox.Pending() == 0 {
+				ctl.carry(inst, minst)
+				return true
+			}
+			if batch, ok = inbox.RecvBatch(e.done); !ok {
+				return true
+			}
 		}
 		if pr != nil {
 			pr.onReceive(len(batch))
@@ -924,7 +1081,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				batch[i].Port = st.Out[0].Port
 			}
 			ok := e.sendManyFn(st.ID, 0, &st.Out[0], batch)
-			e.st[st.ID].Consumed.Add(uint64(len(batch)))
+			tb.st[st.ID].Consumed.Add(uint64(len(batch)))
 			if !ok {
 				// Shutdown mid-delivery; the unsent tail was accounted
 				// as abandoned by the send path.
@@ -957,7 +1114,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 			}
 			if sink {
 				// Sink: results leave the system.
-				e.st[st.ID].Emitted.Add(uint64(len(outs)))
+				tb.st[st.ID].Emitted.Add(uint64(len(outs)))
 				pr.onEmit(len(outs))
 				if e.cfg.OnSink != nil {
 					for _, o := range outs {
@@ -967,7 +1124,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				continue
 			}
 			for oi := 0; oi < len(outs); oi++ {
-				idx := e.pickEdge(st, outs[oi], rng, &rr)
+				idx := e.pickEdge(tb, st, outs[oi], rng, &rr)
 				if idx < 0 {
 					continue
 				}
@@ -982,8 +1139,8 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 						// failing buffer was already accounted by the
 						// send path.
 						outBufs[idx] = outBufs[idx][:0]
-						e.st[st.ID].Consumed.Add(uint64(k + 1))
-						e.st[st.ID].Drained.Add(uint64(len(batch) - k - 1))
+						tb.st[st.ID].Consumed.Add(uint64(k + 1))
+						tb.st[st.ID].Drained.Add(uint64(len(batch) - k - 1))
 						abandonBufs(len(outs) - oi - 1)
 						return true
 					}
@@ -991,7 +1148,7 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 				}
 			}
 		}
-		e.st[st.ID].Consumed.Add(uint64(len(batch)))
+		tb.st[st.ID].Consumed.Add(uint64(len(batch)))
 		if sampleBatch {
 			pr.onServe(batchStart, len(batch))
 		}
@@ -1012,20 +1169,22 @@ func (e *engine) stationEpochBatched(st *plan.Station, rng *stats.RNG, exec func
 }
 
 // runSource generates the input stream at the source's service rate,
-// subject to backpressure on its output mailboxes.
-func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
+// subject to backpressure on its output mailboxes. A pause request parks
+// the source between tuples (nothing is buffered in per-tuple mode).
+func (e *engine) runSource(tb *tables, st *plan.Station, ctl *stationCtl, rng *stats.RNG) {
 	rr := 0
 	pace := newPacer(st.ServiceTime)
 	usePace := !e.cfg.NoServicePadding
 	if e.cfg.Mailbox == mailbox.Batched {
-		e.runSourceBatched(st, rng, usePace, pace)
+		e.runSourceBatched(tb, st, ctl, rng, usePace, pace)
 		return
 	}
-	pr := e.newProbe(st.ID)
+	pr := e.newProbe(tb, st.ID)
 	one := make([]routed, 1)
+	stop := ctl.stopCh()
 	for {
 		select {
-		case <-e.done:
+		case <-stop:
 			return
 		default:
 		}
@@ -1041,9 +1200,9 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 		if sampleSvc {
 			pr.onServe(started, 1)
 		}
-		e.st[st.ID].Consumed.Add(1)
+		tb.st[st.ID].Consumed.Add(1)
 		one[0] = routed{tuple: tup, dest: -1}
-		if !e.flush(st, one, rng, &rr) {
+		if !e.flush(tb, st, one, rng, &rr) {
 			return
 		}
 	}
@@ -1052,10 +1211,13 @@ func (e *engine) runSource(st *plan.Station, rng *stats.RNG) {
 // runSourceBatched generates the stream in micro-batches: tuples are
 // paced and routed individually, then delivered per edge in bulk. Under
 // padding a linger bound flushes partial buffers so a slow source still
-// feeds the pipeline promptly.
-func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool, pace *pacer) {
+// feeds the pipeline promptly. A pause flushes the buffers downstream
+// before parking (the tuples were generated and accounted); only
+// shutdown abandons them.
+func (e *engine) runSourceBatched(tb *tables, st *plan.Station, ctl *stationCtl, rng *stats.RNG, usePace bool, pace *pacer) {
 	rr := 0
-	pr := e.newProbe(st.ID)
+	pr := e.newProbe(tb, st.ID)
+	stop := ctl.stopCh()
 	outBufs := make([][]operators.Tuple, len(st.Out))
 	for i := range outBufs {
 		outBufs[i] = make([]operators.Tuple, 0, e.cfg.Batch)
@@ -1071,7 +1233,7 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 			outBufs[i] = outBufs[i][:0]
 		}
 		if n > 0 {
-			e.st[st.ID].Abandoned.Add(uint64(n))
+			tb.st[st.ID].Abandoned.Add(uint64(n))
 		}
 	}
 	flushAll := func() bool {
@@ -1093,8 +1255,14 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 	}
 	for {
 		select {
-		case <-e.done:
-			abandonBufs()
+		case <-stop:
+			if e.isShutdown() {
+				abandonBufs()
+				return
+			}
+			// Pause: hand the buffered tuples downstream (consumers are
+			// still running) so nothing is lost across the park.
+			flushAll()
 			return
 		default:
 		}
@@ -1110,8 +1278,8 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 		if sampleSvc {
 			pr.onServe(started, 1)
 		}
-		e.st[st.ID].Consumed.Add(1)
-		idx := e.pickEdge(st, routed{tuple: tup, dest: -1}, rng, &rr)
+		tb.st[st.ID].Consumed.Add(1)
+		idx := e.pickEdge(tb, st, routed{tuple: tup, dest: -1}, rng, &rr)
 		if idx < 0 {
 			continue
 		}
@@ -1132,9 +1300,9 @@ func (e *engine) runSourceBatched(st *plan.Station, rng *stats.RNG, usePace bool
 
 // flush delivers outputs downstream; a full mailbox blocks (BAS). It
 // returns false when the engine is shutting down.
-func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int) bool {
+func (e *engine) flush(tb *tables, st *plan.Station, outs []routed, rng *stats.RNG, rr *int) bool {
 	for i := range outs {
-		idx := e.pickEdge(st, outs[i], rng, rr)
+		idx := e.pickEdge(tb, st, outs[i], rng, rr)
 		if idx < 0 {
 			continue
 		}
@@ -1144,7 +1312,7 @@ func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int)
 		if !e.sendFn(st.ID, idx, edge, t) {
 			// The failing tuple was accounted by sendFn; the rest of
 			// this output set never reached a mailbox.
-			e.st[st.ID].Abandoned.Add(uint64(len(outs) - i - 1))
+			tb.st[st.ID].Abandoned.Add(uint64(len(outs) - i - 1))
 			return false
 		}
 	}
@@ -1154,13 +1322,13 @@ func (e *engine) flush(st *plan.Station, outs []routed, rng *stats.RNG, rr *int)
 // pickEdge selects the index of the output edge for one item per the
 // station's routing discipline, or honors an explicit meta-operator
 // destination; -1 means the item has no destination.
-func (e *engine) pickEdge(st *plan.Station, o routed, rng *stats.RNG, rr *int) int {
+func (e *engine) pickEdge(tb *tables, st *plan.Station, o routed, rng *stats.RNG, rr *int) int {
 	out := st.Out
 	if len(out) == 0 {
 		return -1
 	}
 	if o.dest >= 0 {
-		entry := e.p.EntryOf[o.dest]
+		entry := tb.p.EntryOf[o.dest]
 		for i := range out {
 			if out[i].To == entry {
 				return i

@@ -441,6 +441,9 @@ func TestConfigRejectsNonsense(t *testing.T) {
 		"negative mailbox":     {MailboxSize: -1},
 		"negative batch":       {Batch: -8},
 		"negative linger":      {Linger: -time.Millisecond},
+
+		"negative reconfig stall budget": {ReconfigStallBudget: -time.Second},
+		"negative autotune interval":     {AutotuneInterval: -time.Second},
 	}
 	for name, cfg := range bad {
 		if _, err := cfg.withDefaults(); err == nil {
@@ -469,6 +472,9 @@ func TestConfigRejectsNonsense(t *testing.T) {
 	}
 	if got.Batch == 0 || got.Linger == 0 {
 		t.Errorf("batch/linger defaults not applied: %+v", got)
+	}
+	if got.ReconfigStallBudget != time.Second || got.AutotuneInterval != 2*time.Second {
+		t.Errorf("reconfiguration defaults not applied: %+v", got)
 	}
 }
 

@@ -247,6 +247,40 @@ func Execute(ctx context.Context, t *Topology, replicas []int, binding *Binding,
 	return runtime.RunTopology(ctx, t, replicas, binding, cfg)
 }
 
+// Live reconfiguration re-exports (internal/runtime's controller/epoch
+// architecture): a deployment started with StartLive keeps running while
+// DeltaPlans are applied in-flight — replica rescaling, keyed-state
+// migration, fusion undo — under a bounded pause fence.
+type (
+	// LiveController owns a running deployment that can be reconfigured
+	// in-flight; obtain one from StartLive.
+	LiveController = runtime.Controller
+	// LiveApplyReport describes one in-flight DeltaPlan application.
+	LiveApplyReport = runtime.ApplyReport
+	// AutotuneOptions tunes the controller's autonomic loop.
+	AutotuneOptions = runtime.AutotuneOptions
+	// AutotuneRound is one measure/re-optimize/apply iteration.
+	AutotuneRound = runtime.AutotuneRound
+	// AutotuneReport collects the loop's rounds.
+	AutotuneReport = runtime.AutotuneReport
+)
+
+// StartLive deploys the topology on the goroutine runtime and returns a
+// controller that keeps it running until Stop. Unlike Execute, the
+// deployment can be reconfigured while tuples flow: ApplyDelta rescales
+// operators, migrates keyed state, and undoes fusions in-flight, and
+// Autotune closes the measure → re-optimize → apply loop automatically.
+func StartLive(t *Topology, replicas []int, binding *Binding, cfg RunConfig) (*LiveController, error) {
+	return runtime.StartTopology(t, replicas, binding, cfg)
+}
+
+// ApplyDelta applies a Reoptimize delta plan to a live deployment without
+// restarting it: replica changes and fusion undos are fenced per change,
+// with unaffected stations running throughout.
+func ApplyDelta(c *LiveController, d *DeltaPlan) (*LiveApplyReport, error) {
+	return c.ApplyDelta(d)
+}
+
 // DistributedConfig tunes ExecuteDistributed.
 type DistributedConfig = runtime.DistributedConfig
 
