@@ -1,16 +1,15 @@
-// Command ssbench regenerates every table and figure of the paper's
-// evaluation (Section 5) on the simulated testbed; see EXPERIMENTS.md for
-// the recorded paper-vs-measured comparison.
+// Command ssbench runs the scenario registry: every table and figure of
+// the paper's evaluation (Section 5), the ablations and live walkthroughs,
+// and the extended corpus; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
 //
 // Usage:
 //
-//	ssbench                         # run everything (50-topology testbed)
-//	ssbench -exp fig7               # one experiment: fig7 fig8 fig9 fig10
-//	                                  table1 table2 keypart buffers latency
-//	ssbench -exp fig7live           # accuracy against the live goroutine runtime
-//	ssbench -exp drift              # predict→optimize→run→verify walkthrough (paper example)
-//	ssbench -exp reopt              # drift→reoptimize walkthrough (delta plan from measured profiles)
-//	ssbench -exp autotune           # live autonomic loop: measure, re-optimize, apply the delta in-flight
+//	ssbench                         # run the default sweep (50-topology testbed)
+//	ssbench -list                   # print the scenario registry with tags
+//	ssbench -exp fig7               # one scenario by name
+//	ssbench -exp corpus -out results # Section 5 corpus, CSV+JSON under results/
+//	ssbench -scenario-tag ablation  # every scenario carrying a tag
 //	ssbench -quick                  # smaller testbed, shorter horizon
 //	ssbench -csv out/               # also export each data series as CSV
 package main
@@ -19,42 +18,56 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
-	"spinstreams/internal/core"
 	"spinstreams/internal/experiments"
 	"spinstreams/internal/mailbox"
 	"spinstreams/internal/qsim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ssbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	exp := flag.String("exp", "all", "experiment: all, fig7, fig8, fig9, fig10, table1, table2, keypart, buffers, latency, shedding, elasticity, fig7live, drift, reopt, autotune (live runs only with -exp fig7live / -exp drift / -exp reopt / -exp autotune)")
-	seed := flag.Uint64("seed", 42, "testbed seed")
-	topologies := flag.Int("topologies", 50, "testbed size")
-	horizon := flag.Float64("horizon", 40, "simulated seconds per measurement")
-	quick := flag.Bool("quick", false, "small testbed and short horizon")
-	csvDir := flag.String("csv", "", "also write each experiment's data series as CSV into this directory")
-	liveTopologies := flag.Int("live-topologies", 8, "testbed entries for fig7live")
-	liveDuration := flag.Duration("live-duration", 3*time.Second, "wall-clock run per topology for fig7live")
-	liveMailbox := flag.String("mailbox", "tuple", "fig7live dataplane transport: tuple or batch")
-	liveBatch := flag.Int("batch", 0, "fig7live micro-batch size in batch mode (0 = runtime default)")
-	liveLinger := flag.Duration("linger", 0, "fig7live max wait before a partial batch flushes (0 = runtime default)")
-	liveRestarts := flag.Int("max-restarts", 0, "fig7live: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
-	driftTable := flag.Int("drift-table", 2, "drift: paper-example service-time variant (1 or 2)")
-	reoptSlow := flag.Float64("reopt-slow", 3, "reopt/autotune: factor by which the deployed hot operator is slower than declared")
-	autotuneRounds := flag.Int("autotune-rounds", 3, "autotune: measure/re-optimize/apply rounds")
-	autotuneInterval := flag.Duration("autotune-interval", 800*time.Millisecond, "autotune: measurement window per round")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "scenario name (see -list), or 'all' for the default sweep")
+	tag := fs.String("scenario-tag", "", "run every registered scenario carrying this tag instead of -exp")
+	list := fs.Bool("list", false, "print the scenario registry with tags and exit")
+	seed := fs.Uint64("seed", 42, "testbed seed")
+	topologies := fs.Int("topologies", 50, "testbed size")
+	horizon := fs.Float64("horizon", 40, "simulated seconds per measurement")
+	quick := fs.Bool("quick", false, "small testbed and short horizon")
+	csvDir := fs.String("csv", "", "also write each scenario's data series as CSV into this directory")
+	outDir := fs.String("out", "", "write each scenario's data series as CSV and JSON (with run metadata) into this directory")
+	liveTopologies := fs.Int("live-topologies", 8, "testbed entries for fig7live")
+	liveDuration := fs.Duration("live-duration", 3*time.Second, "wall-clock run per topology for fig7live")
+	liveMailbox := fs.String("mailbox", "tuple", "live dataplane transport: tuple or batch")
+	liveBatch := fs.Int("batch", 0, "live micro-batch size in batch mode (0 = runtime default)")
+	liveLinger := fs.Duration("linger", 0, "live max wait before a partial batch flushes (0 = runtime default)")
+	liveRestarts := fs.Int("max-restarts", 0, "live runs: restart a panicked operator up to N times, then degrade (0 = crash, <0 = unlimited)")
+	driftTable := fs.Int("drift-table", 2, "drift: paper-example service-time variant (1 or 2)")
+	reoptSlow := fs.Float64("reopt-slow", 3, "reopt/autotune: factor by which the deployed hot operator is slower than declared")
+	autotuneRounds := fs.Int("autotune-rounds", 3, "autotune: measure/re-optimize/apply rounds")
+	autotuneInterval := fs.Duration("autotune-interval", 800*time.Millisecond, "autotune: measurement window per round")
+	corpusHorizon := fs.Float64("corpus-horizon", 12, "corpus: simulated seconds per measurement")
+	corpusRounds := fs.Int("corpus-rounds", 8, "corpus: autotune hill-climb measurement rounds")
+	corpusWorkloads := fs.String("workloads", "", "corpus: comma-separated workload shapes (default steady,bursty,diurnal,hotkey)")
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprint(stdout, experiments.DescribeRegistry())
+		return nil
+	}
 	liveTransport, err := mailbox.ParseMode(*liveMailbox)
 	if err != nil {
 		return err
@@ -65,168 +78,122 @@ func run() error {
 		Topologies: *topologies,
 		Sim:        qsim.Config{Horizon: *horizon},
 	}
+	corpus := experiments.CorpusOptions{
+		Topologies: *topologies,
+		Horizon:    *corpusHorizon,
+		Rounds:     *corpusRounds,
+	}
+	if *corpusWorkloads != "" {
+		corpus.Workloads = strings.Split(*corpusWorkloads, ",")
+	}
 	if *quick {
 		setup.Topologies = 10
 		setup.Sim.Horizon = 15
+		corpus.Topologies = 5
+		corpus.Horizon = 6
+		corpus.Rounds = 3
+	}
+	opts := experiments.Options{
+		Setup: setup,
+		Live: experiments.LiveOptions{
+			Topologies:  *liveTopologies,
+			Duration:    *liveDuration,
+			Transport:   liveTransport,
+			Batch:       *liveBatch,
+			Linger:      *liveLinger,
+			MaxRestarts: *liveRestarts,
+		},
+		Corpus:           corpus,
+		DriftTable:       *driftTable,
+		SlowFactor:       *reoptSlow,
+		AutotuneRounds:   *autotuneRounds,
+		AutotuneInterval: *autotuneInterval,
 	}
 
-	publish := func(name string, res interface {
-		fmt.Stringer
-		experiments.Tabular
-	}) error {
-		fmt.Println(res)
-		if *csvDir == "" {
-			return nil
+	var scenarios []experiments.Scenario
+	switch {
+	case *tag != "":
+		scenarios = experiments.WithTag(*tag)
+		if len(scenarios) == 0 {
+			return fmt.Errorf("no scenario carries tag %q\n%s", *tag, experiments.DescribeRegistry())
 		}
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			return err
-		}
-		path := filepath.Join(*csvDir, name+".csv")
-		fh, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := experiments.WriteCSV(fh, res); err != nil {
-			fh.Close()
-			return err
-		}
-		return fh.Close()
-	}
-
-	runOne := func(name string) error {
-		switch name {
-		case "fig7":
-			res, err := experiments.Fig7(setup)
-			if err != nil {
-				return err
+	case *exp == "all":
+		scenarios = experiments.WithTag("default")
+	default:
+		for _, name := range strings.Split(*exp, ",") {
+			s, ok := experiments.Get(name)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q\n%s", name, experiments.DescribeRegistry())
 			}
-			return publish(name, res)
-		case "fig8":
-			res, err := experiments.Fig8(setup)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "fig9":
-			res, err := experiments.Fig9(setup)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "fig10":
-			res, err := experiments.Fig10(setup)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "table1":
-			res, err := experiments.Table(setup, core.PaperExampleTable1)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "table2":
-			res, err := experiments.Table(setup, core.PaperExampleTable2)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "keypart":
-			res, err := experiments.KeyPartitioningAblation(100, 8, nil)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "buffers":
-			res, err := experiments.BufferSizeAblation(setup, nil)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "latency":
-			res, err := experiments.Latency(setup, nil)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "shedding":
-			res, err := experiments.Shedding(setup)
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "elasticity":
-			res, err := experiments.Elasticity(setup, experiments.ElasticityOptions{})
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "fig7live":
-			res, err := experiments.Fig7Live(context.Background(), setup, experiments.LiveOptions{
-				Topologies:  *liveTopologies,
-				Duration:    *liveDuration,
-				Transport:   liveTransport,
-				Batch:       *liveBatch,
-				Linger:      *liveLinger,
-				MaxRestarts: *liveRestarts,
-			})
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "drift":
-			variant := core.PaperExampleTable2
-			if *driftTable == 1 {
-				variant = core.PaperExampleTable1
-			}
-			res, err := experiments.DriftDemo(context.Background(), variant, experiments.LiveOptions{
-				Duration:    *liveDuration,
-				Transport:   liveTransport,
-				Batch:       *liveBatch,
-				Linger:      *liveLinger,
-				MaxRestarts: *liveRestarts,
-			})
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "reopt":
-			res, err := experiments.ReoptimizeDemo(context.Background(), *reoptSlow, experiments.LiveOptions{
-				Duration:    *liveDuration,
-				Transport:   liveTransport,
-				Batch:       *liveBatch,
-				Linger:      *liveLinger,
-				MaxRestarts: *liveRestarts,
-			})
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		case "autotune":
-			res, err := experiments.AutotuneDemo(context.Background(), *reoptSlow, *autotuneRounds, experiments.LiveOptions{
-				Duration:    *autotuneInterval,
-				Transport:   liveTransport,
-				Batch:       *liveBatch,
-				Linger:      *liveLinger,
-				MaxRestarts: *liveRestarts,
-			})
-			if err != nil {
-				return err
-			}
-			return publish(name, res)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			scenarios = append(scenarios, s)
 		}
 	}
 
-	if *exp == "all" {
-		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "table1", "table2", "keypart", "buffers", "latency", "shedding", "elasticity"} {
-			fmt.Printf("=== %s ===\n", strings.ToUpper(name))
-			if err := runOne(name); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
+	banner := len(scenarios) > 1
+	for _, s := range scenarios {
+		if banner {
+			fmt.Fprintf(stdout, "=== %s ===\n", strings.ToUpper(s.Name))
 		}
-		return nil
+		if err := runScenario(stdout, s, opts, *csvDir, *outDir); err != nil {
+			return fmt.Errorf("%s: %w", s.Name, err)
+		}
 	}
-	return runOne(*exp)
+	return nil
+}
+
+// runScenario executes one registry entry: run, check, print, export.
+func runScenario(stdout io.Writer, s experiments.Scenario, opts experiments.Options, csvDir, outDir string) error {
+	start := time.Now()
+	res, err := s.Run(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if s.Check != nil {
+		if err := s.Check(res); err != nil {
+			return fmt.Errorf("check failed: %w", err)
+		}
+	}
+	fmt.Fprintln(stdout, res)
+	if csvDir != "" {
+		if err := writeFile(filepath.Join(csvDir, s.Name+".csv"), func(w io.Writer) error {
+			return experiments.WriteCSV(w, res)
+		}); err != nil {
+			return err
+		}
+	}
+	if outDir != "" {
+		meta := experiments.RunMeta{
+			Scenario:       s.Name,
+			Seed:           opts.Setup.Seed,
+			GeneratedAt:    start.UTC().Format(time.RFC3339),
+			ElapsedSeconds: elapsed.Seconds(),
+		}
+		if err := writeFile(filepath.Join(outDir, "scenario_"+s.Name+".csv"), func(w io.Writer) error {
+			return experiments.WriteCSV(w, res)
+		}); err != nil {
+			return err
+		}
+		if err := writeFile(filepath.Join(outDir, "scenario_"+s.Name+".json"), func(w io.Writer) error {
+			return experiments.WriteJSON(w, meta, res)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, fill func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
 }

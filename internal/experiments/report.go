@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -27,6 +28,37 @@ func WriteCSV(w io.Writer, t Tabular) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// RunMeta annotates an exported result. GeneratedAt and ElapsedSeconds
+// are the only timing fields: the corpus determinism test zeroes them and
+// requires the remaining bytes to be identical across reruns.
+type RunMeta struct {
+	Scenario       string  `json:"scenario"`
+	Seed           uint64  `json:"seed"`
+	GeneratedAt    string  `json:"generated_at,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+}
+
+// JSONReport is the on-disk JSON schema: run metadata plus the same
+// header/rows series the CSV export carries, in the same deterministic
+// order (rows come from Tabular implementations that iterate slices, never
+// maps).
+type JSONReport struct {
+	Meta   RunMeta    `json:"meta"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// WriteJSON exports any tabular result as an indented JSON report.
+func WriteJSON(w io.Writer, meta RunMeta, t Tabular) error {
+	rep := JSONReport{Meta: meta, Header: t.Header(), Rows: t.TableRows()}
+	if rep.Rows == nil {
+		rep.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func f(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }

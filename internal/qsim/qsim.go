@@ -54,6 +54,13 @@ type Config struct {
 	// (and the behaviour of Akka's BoundedMailbox when its enqueue
 	// timeout expires).
 	Shedding bool
+	// RateEnvelope, when non-nil, modulates every source station's
+	// generation rate over simulated time: at time t the source's mean
+	// service time becomes ServiceTime / RateEnvelope(t). An envelope of
+	// 1 is the steady workload; values above 1 are bursts, below 1
+	// troughs. The envelope must be deterministic (same t, same value)
+	// for reruns to be reproducible; non-positive values are clamped.
+	RateEnvelope func(t float64) float64
 }
 
 func (c Config) withDefaults() Config {
@@ -361,6 +368,13 @@ func (s *sim) serviceTime(st *simStation) float64 {
 	mean := st.spec.ServiceTime
 	if mean <= 0 {
 		mean = 1e-9
+	}
+	if s.cfg.RateEnvelope != nil && st.spec.Role == plan.RoleSource {
+		e := s.cfg.RateEnvelope(s.now)
+		if e < 1e-9 {
+			e = 1e-9
+		}
+		mean /= e
 	}
 	if s.cfg.Service == Deterministic {
 		return mean

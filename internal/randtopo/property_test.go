@@ -1,0 +1,160 @@
+package randtopo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/stats"
+)
+
+// TestAlgorithm5Properties sweeps 500 seeds of the generator and asserts
+// the structural invariants Algorithm 5 promises: every topology is
+// acyclic (it admits a topological order), the vertex count respects the
+// configured bounds, and the out-degree cap holds for every non-source
+// vertex.
+func TestAlgorithm5Properties(t *testing.T) {
+	const (
+		seeds  = 500
+		minOps = 4
+		maxOps = 16
+		maxOut = 3
+	)
+	cfg := Config{MinOps: minOps, MaxOps: maxOps, MaxOutDegree: maxOut}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		cfg.Seed = seed
+		g, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		topo := g.Topology
+		if _, err := topo.TopologicalOrder(); err != nil {
+			t.Fatalf("seed %d: not acyclic: %v", seed, err)
+		}
+		if n := topo.Len(); n < minOps || n > maxOps {
+			t.Fatalf("seed %d: %d operators, want [%d, %d]", seed, n, minOps, maxOps)
+		}
+		if e := topo.NumEdges(); e < topo.Len()-1 {
+			t.Fatalf("seed %d: %d edges cannot connect %d vertices", seed, e, topo.Len())
+		}
+		for i := 1; i < topo.Len(); i++ {
+			if deg := len(topo.Out(core.OpID(i))); deg > maxOut {
+				t.Fatalf("seed %d: vertex %d out-degree %d exceeds cap %d", seed, i, deg, maxOut)
+			}
+		}
+	}
+}
+
+// TestMaxOutDegreeKeepsUncappedGenerationStable pins that introducing the
+// cap did not change uncapped generation: the cap-free config must keep
+// producing the golden-fingerprinted instances (TestGenerateGolden covers
+// the exact hashes; here we cross-check cap=0 and a cap too large to bind
+// agree edge for edge).
+func TestMaxOutDegreeKeepsUncappedGenerationStable(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, err := Generate(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(Config{Seed: seed, MaxOutDegree: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Topology.String() != b.Topology.String() {
+			t.Fatalf("seed %d: a non-binding out-degree cap changed the topology", seed)
+		}
+	}
+}
+
+// zipfExponent recovers the scaling exponent from one vertex's routing
+// probabilities. The generator draws them from an exact (finite) ZipF law
+// and shuffles: sorting descending restores p_k proportional to k^-s, so
+// s = log(p_1/p_2)/log(2).
+func zipfExponent(probs []float64) float64 {
+	sorted := append([]float64(nil), probs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return math.Log(sorted[0]/sorted[1]) / math.Ln2
+}
+
+// TestZipfEdgeProbabilitiesMatchExponent asserts the edge-probability
+// distributions follow the configured ZipF law. With the exponent pinned
+// to a single value, every multi-output vertex's sorted probabilities
+// must reproduce stats.ZipfWeights exactly; with the default range, every
+// recovered exponent must land inside it.
+func TestZipfEdgeProbabilitiesMatchExponent(t *testing.T) {
+	const alpha = 1.7
+	pinned := Config{ZipfExpMin: alpha, ZipfExpMax: alpha}
+	checked := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		pinned.Seed = seed
+		g, err := Generate(pinned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Topology.Len(); i++ {
+			out := g.Topology.Out(core.OpID(i))
+			if len(out) < 2 {
+				continue
+			}
+			probs := make([]float64, len(out))
+			for j, e := range out {
+				probs[j] = e.Prob
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(probs)))
+			want := stats.ZipfWeights(len(probs), alpha)
+			for k := range want {
+				if math.Abs(probs[k]-want[k]) > 1e-9 {
+					t.Fatalf("seed %d vertex %d: rank-%d probability %v, want ZipF(%v) weight %v",
+						seed, i, k+1, probs[k], alpha, want[k])
+				}
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d multi-output vertices checked; sweep too small to be meaningful", checked)
+	}
+
+	ranged := Config{} // defaults: exponent drawn in [1.1, 2.5]
+	const tol = 1e-6
+	for seed := uint64(1); seed <= 200; seed++ {
+		ranged.Seed = seed
+		g, err := Generate(ranged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Topology.Len(); i++ {
+			out := g.Topology.Out(core.OpID(i))
+			if len(out) < 2 {
+				continue
+			}
+			probs := make([]float64, len(out))
+			for j, e := range out {
+				probs[j] = e.Prob
+			}
+			if s := zipfExponent(probs); s < 1.1-tol || s > 2.5+tol {
+				t.Fatalf("seed %d vertex %d: recovered exponent %v outside configured [1.1, 2.5]", seed, i, s)
+			}
+		}
+	}
+}
+
+// TestMaxOutDegreeSettlesForAchievableEdges asserts a tight cap degrades
+// gracefully: generation still succeeds and stays connected, just sparser.
+func TestMaxOutDegreeSettlesForAchievableEdges(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		g, err := Generate(Config{Seed: seed, MaxOutDegree: 1, BetaMin: 1.2, BetaMax: 1.2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.Topology.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 1; i < g.Topology.Len(); i++ {
+			if deg := len(g.Topology.Out(core.OpID(i))); deg > 1 {
+				t.Fatalf("seed %d: vertex %d out-degree %d under cap 1", seed, i, deg)
+			}
+		}
+	}
+}

@@ -56,6 +56,13 @@ type Config struct {
 	// MaxKeys bounds the key-domain size of partitioned-stateful
 	// operators (drawn uniformly in [8, MaxKeys]).
 	MaxKeys int
+	// MaxOutDegree, when > 0, caps the out-degree of non-source vertices
+	// during the edge top-up phase. The source is exempt: phase 1 and the
+	// orphan repair may route any vertex from it, so its fan-out must stay
+	// unbounded for single-source reachability. When the cap makes the
+	// requested edge count unreachable, the generator settles for the
+	// achievable maximum.
+	MaxOutDegree int
 }
 
 // validate rejects configurations whose float fields are NaN or infinite.
@@ -200,13 +207,32 @@ func generate(cfg Config, rng *stats.RNG, v, e int) (*Generated, error) {
 		edges[edgeKey{i, rng.IntBetween(i+1, v-1)}] = true
 	}
 	// Phase 2: top up to e edges (the repair phase below may add more).
-	maxEdges := v * (v - 1) / 2
+	// With an out-degree cap, the achievable edge count shrinks to what
+	// the capped vertices can still emit; the loop bound follows it so a
+	// tight cap degrades to the sparsest valid graph instead of spinning.
+	outCount := make([]int, v)
+	for k := range edges {
+		outCount[k.u]++
+	}
+	capFor := func(u int) int {
+		targets := v - 1 - u
+		if cfg.MaxOutDegree > 0 && u != 0 && cfg.MaxOutDegree < targets {
+			return cfg.MaxOutDegree
+		}
+		return targets
+	}
+	maxEdges := 0
+	for u := 0; u < v; u++ {
+		maxEdges += capFor(u)
+	}
 	for len(edges) < e && len(edges) < maxEdges {
 		u := rng.Intn(v)
 		w := rng.Intn(v)
-		if u < w {
-			edges[edgeKey{u, w}] = true
+		if u >= w || edges[edgeKey{u, w}] || outCount[u] >= capFor(u) {
+			continue
 		}
+		edges[edgeKey{u, w}] = true
+		outCount[u]++
 	}
 	// Phase 3: single-source repair — any vertex with no input edge gets
 	// one from the source.
