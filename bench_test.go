@@ -232,7 +232,10 @@ func BenchmarkAblationBufferSize(b *testing.B) {
 // plan; the reported tuples/s are the source departure rate. The *-obs
 // variants bind a metrics registry (the counters always run — the
 // variants add the sampled histogram probes), pinning the documented
-// <5% observability overhead. Set SS_BENCH_JSON=<path> to also record
+// <5% observability overhead. The *-est variants additionally run the
+// probe-free occupancy sampler (1 ms tick); est_overhead compares them
+// against the *-obs baseline to isolate the sampler's cost, pinning the
+// "cheaper than probes" claim. Set SS_BENCH_JSON=<path> to also record
 // the comparison as a JSON bench trajectory point (CI uploads it as
 // BENCH_runtime.json and gates regressions with cmd/benchgate).
 func BenchmarkRuntimeRawThroughput(b *testing.B) {
@@ -253,7 +256,7 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 		}
 		prev = id
 	}
-	run := func(b *testing.B, mode mailbox.Mode, withObs bool) float64 {
+	run := func(b *testing.B, mode mailbox.Mode, withObs, withEst bool) float64 {
 		var tps float64
 		for i := 0; i < b.N; i++ {
 			// A lean generator (one payload field, tiny key domain) keeps
@@ -278,6 +281,9 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			if withObs {
 				cfg.Obs = obs.New()
 			}
+			if withEst {
+				cfg.Estimator = true
+			}
 			m, err := runtime.RunTopology(context.Background(), topo, nil, nil, cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -288,10 +294,12 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 		return tps
 	}
 	results := map[string]float64{}
-	b.Run("per-tuple", func(b *testing.B) { results["per-tuple"] = run(b, mailbox.PerTuple, false) })
-	b.Run("batched", func(b *testing.B) { results["batched"] = run(b, mailbox.Batched, false) })
-	b.Run("per-tuple-obs", func(b *testing.B) { results["per-tuple-obs"] = run(b, mailbox.PerTuple, true) })
-	b.Run("batched-obs", func(b *testing.B) { results["batched-obs"] = run(b, mailbox.Batched, true) })
+	b.Run("per-tuple", func(b *testing.B) { results["per-tuple"] = run(b, mailbox.PerTuple, false, false) })
+	b.Run("batched", func(b *testing.B) { results["batched"] = run(b, mailbox.Batched, false, false) })
+	b.Run("per-tuple-obs", func(b *testing.B) { results["per-tuple-obs"] = run(b, mailbox.PerTuple, true, false) })
+	b.Run("batched-obs", func(b *testing.B) { results["batched-obs"] = run(b, mailbox.Batched, true, false) })
+	b.Run("per-tuple-est", func(b *testing.B) { results["per-tuple-est"] = run(b, mailbox.PerTuple, true, true) })
+	b.Run("batched-est", func(b *testing.B) { results["batched-est"] = run(b, mailbox.Batched, true, true) })
 	if path := os.Getenv("SS_BENCH_JSON"); path != "" && results["per-tuple"] > 0 {
 		point := struct {
 			Benchmark string             `json:"benchmark"`
@@ -300,6 +308,7 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			TuplesPer map[string]float64 `json:"tuples_per_sec"`
 			Speedup   float64            `json:"batched_speedup"`
 			ObsOver   map[string]float64 `json:"obs_overhead"`
+			EstOver   map[string]float64 `json:"est_overhead"`
 		}{
 			Benchmark: "BenchmarkRuntimeRawThroughput",
 			Pipeline:  topo.Len(),
@@ -309,6 +318,10 @@ func BenchmarkRuntimeRawThroughput(b *testing.B) {
 			ObsOver: map[string]float64{
 				"per-tuple": 1 - results["per-tuple-obs"]/results["per-tuple"],
 				"batched":   1 - results["batched-obs"]/results["batched"],
+			},
+			EstOver: map[string]float64{
+				"per-tuple": 1 - results["per-tuple-est"]/results["per-tuple-obs"],
+				"batched":   1 - results["batched-est"]/results["batched-obs"],
 			},
 		}
 		data, err := json.MarshalIndent(point, "", "  ")

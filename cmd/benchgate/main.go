@@ -5,10 +5,10 @@
 //
 // The gate is deliberately one-sided and coarse: CI machines are noisy,
 // so only a large sustained drop on the headline transport fails the
-// build. Other series (per-tuple, the *-obs variants) and the measured
-// observability overhead are reported for the log but never fail the
-// gate on their own — overhead has a dedicated threshold flag that can be
-// enabled on quiet hardware.
+// build. Other series (per-tuple, the *-obs and *-est variants) and the
+// measured observability/estimator overheads are reported for the log but
+// never fail the gate on their own — each overhead has a dedicated
+// threshold flag that can be enabled on quiet hardware.
 //
 // Usage:
 //
@@ -30,6 +30,9 @@ type record struct {
 	Benchmark string             `json:"benchmark"`
 	TuplesPer map[string]float64 `json:"tuples_per_sec"`
 	ObsOver   map[string]float64 `json:"obs_overhead"`
+	// EstOver is the occupancy sampler's throughput cost over the *-obs
+	// baseline (the probe-free estimator's only dataplane footprint).
+	EstOver map[string]float64 `json:"est_overhead"`
 	// ReconfigStallP99Ms is BenchmarkReconfigStall's p99 pause-fence
 	// stall, merged into the same record; zero when the benchmark did not
 	// run (older baselines), which disables the stall gate.
@@ -86,6 +89,7 @@ func main() {
 	candidatePath := flag.String("candidate", "", "freshly measured record (required)")
 	maxRegression := flag.Float64("max-regression", 0.20, "max allowed fractional drop in batched throughput")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if candidate obs_overhead exceeds this fraction (0 disables)")
+	maxEstOverhead := flag.Float64("max-est-overhead", 0, "fail if the candidate's batched est_overhead (occupancy sampler cost over the obs baseline) exceeds this fraction (0 disables)")
 	maxStallFactor := flag.Float64("max-stall-factor", 4.0, "max allowed growth factor of the reconfiguration p99 stall over baseline")
 	stallFloorMs := flag.Float64("stall-floor-ms", 1.0, "ignore stall regressions while the candidate p99 stays under this many ms (scheduler noise floor)")
 	optBaselinePath := flag.String("opt-baseline", "BENCH_optimizer.json", "committed solver-cache baseline record")
@@ -136,6 +140,11 @@ func main() {
 			fmt.Printf("%-14s obs overhead %5.1f%%\n", k, ov*100)
 		}
 	}
+	for _, k := range []string{"per-tuple", "batched"} {
+		if ov, ok := cand.EstOver[k]; ok {
+			fmt.Printf("%-14s est overhead %5.1f%%\n", k, ov*100)
+		}
+	}
 
 	failed := false
 	// The gate proper: the batched transport is the dataplane headline
@@ -162,6 +171,22 @@ func main() {
 					k, ov*100, *maxObsOverhead*100)
 				failed = true
 			}
+		}
+	}
+	// The estimator gate covers only the batched series — the headline
+	// transport the throughput gate also watches; the per-tuple est
+	// overhead is reported above but never fails the build (the slow
+	// transport's relative noise would make it flaky).
+	if *maxEstOverhead > 0 {
+		ov, ok := cand.EstOver["batched"]
+		switch {
+		case !ok:
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL est gate enabled but candidate has no batched est_overhead")
+			failed = true
+		case ov > *maxEstOverhead:
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL batched est overhead %.1f%% exceeds %.1f%%\n",
+				ov*100, *maxEstOverhead*100)
+			failed = true
 		}
 	}
 	// The reconfiguration stall gate: live ApplyDelta pauses only the

@@ -524,6 +524,8 @@ func cmdRun(args []string) error {
 	autotune := fs.Bool("autotune", false, "close the loop live: measure, re-optimize, and apply delta plans in-flight without a restart")
 	autotuneRounds := fs.Int("autotune-rounds", 2, "measure/re-optimize/apply rounds with -autotune")
 	autotuneInterval := fs.Duration("autotune-interval", 2*time.Second, "measurement window per autotune round")
+	estimator := fs.Bool("estimator", false, "probe-free measurement: reconstruct service rates online from periodic mailbox-occupancy sampling instead of timed probes")
+	estimatorInterval := fs.Duration("estimator-interval", 0, "occupancy sampling tick with -estimator (0 = 1ms default)")
 	stallBudget := fs.Duration("reconfig-stall-budget", time.Second, "max pause a live reconfiguration may hold before it aborts")
 	vet := fs.Bool("vet", false, "print positioned vet diagnostics for the input before running")
 	if err := fs.Parse(args); err != nil {
@@ -550,6 +552,12 @@ func cmdRun(args []string) error {
 	}
 	if *autotune && *nodes > 1 {
 		return fmt.Errorf("run: -autotune reconfigures the in-process engine and is incompatible with -nodes > 1")
+	}
+	if *estimatorInterval < 0 {
+		return fmt.Errorf("run: -estimator-interval %v, want >= 0", *estimatorInterval)
+	}
+	if *estimator && *nodes > 1 {
+		return fmt.Errorf("run: -estimator samples the in-process engine and is incompatible with -nodes > 1")
 	}
 	transport, err := mbox.ParseMode(*mode)
 	if err != nil {
@@ -597,9 +605,11 @@ func cmdRun(args []string) error {
 		MaxRestarts:         *maxRestarts,
 		ReconfigStallBudget: *stallBudget,
 		AutotuneInterval:    *autotuneInterval,
+		Estimator:           *estimator,
+		EstimatorInterval:   *estimatorInterval,
 	}
 	var reg *obs.Registry
-	if *metricsAddr != "" || *drift || *reoptimize || *autotune {
+	if *metricsAddr != "" || *drift || *reoptimize || *autotune || *estimator {
 		reg = obs.New()
 		runCfg.Obs = reg
 	}
@@ -612,6 +622,9 @@ func cmdRun(args []string) error {
 		fmt.Printf("metrics: http://%s/metrics\n", bound)
 	}
 	var m *runtime.Metrics
+	// em carries the estimator's probe-free measurement into the drift /
+	// re-optimization report when -estimator is set.
+	var em *obs.Measurement
 	if *autotune {
 		c, err := runtime.StartTopology(t, replicas, binding, runCfg)
 		if err != nil {
@@ -636,6 +649,12 @@ func cmdRun(args []string) error {
 			},
 		})
 		replicas = c.Replicas()
+		if *estimator && (*drift || *reoptimize) {
+			if em, err = c.Estimator().Measure(); err != nil {
+				c.Stop()
+				return fmt.Errorf("run: estimator: %w", err)
+			}
+		}
 		m, err = c.Stop()
 		if aerr != nil {
 			return aerr
@@ -658,6 +677,22 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+	} else if *estimator && (*drift || *reoptimize) {
+		// The probe-free measurement lives on the controller; run the
+		// plain duration through it so the report below can be built from
+		// occupancy-derived profiles instead of (absent) probe histograms.
+		c, err := runtime.StartTopology(t, replicas, binding, runCfg)
+		if err != nil {
+			return err
+		}
+		time.Sleep(*duration)
+		if em, err = c.Estimator().Measure(); err != nil {
+			c.Stop()
+			return fmt.Errorf("run: estimator: %w", err)
+		}
+		if m, err = c.Stop(); err != nil {
+			return err
+		}
 	} else {
 		m, err = runtime.RunTopology(context.Background(), t, replicas, binding, runCfg)
 		if err != nil {
@@ -674,7 +709,13 @@ func cmdRun(args []string) error {
 			t.Op(core.OpID(op)).Name, d, m.Arrival[op])
 	}
 	if *drift || *reoptimize {
-		rep, err := obs.Drift(t, replicas, reg)
+		var rep *obs.DriftReport
+		var err error
+		if em != nil {
+			rep, err = obs.DriftFromProfiles(t, replicas, em.Rates, em.Profiles, em.Confidence)
+		} else {
+			rep, err = obs.Drift(t, replicas, reg)
+		}
 		if err != nil {
 			return fmt.Errorf("run: drift: %w", err)
 		}

@@ -194,6 +194,8 @@ func TestCLIRunValidation(t *testing.T) {
 		{"negative batch", []string{"-batch", "-8"}},
 		{"negative linger", []string{"-linger", "-1ms"}},
 		{"unknown mailbox mode", []string{"-mailbox-mode", "bogus"}},
+		{"negative estimator interval", []string{"-estimator", "-estimator-interval", "-1ms"}},
+		{"estimator with distributed nodes", []string{"-estimator", "-nodes", "2"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -307,5 +309,41 @@ func TestCLIRunReoptimize(t *testing.T) {
 	}
 	if !strings.Contains(out, "re-optimization on measured profiles:") {
 		t.Errorf("run output missing the delta plan:\n%s", out)
+	}
+}
+
+// TestCLIRunEstimatorReoptimize exercises the probe-free path end to end:
+// with -estimator the drift and re-optimization reports are built from
+// occupancy-derived profiles instead of timed-probe histograms, so the
+// same reports must come out without any probe machinery running.
+func TestCLIRunEstimatorReoptimize(t *testing.T) {
+	out, err := capture(t, "run", "-in", writePaperTopology(t),
+		"-duration", "700ms", "-warmup", "150ms", "-estimator", "-drift", "-reoptimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Model-vs-measured drift") {
+		t.Errorf("run output missing the drift report:\n%s", out)
+	}
+	if !strings.Contains(out, "re-optimization on measured profiles:") {
+		t.Errorf("run output missing the delta plan:\n%s", out)
+	}
+}
+
+// TestCLIRunAutotuneEstimator drives the full autonomic loop from the
+// command line with probe-free measurement: autotune rounds fed by the
+// estimator must complete and report their outcome.
+func TestCLIRunAutotuneEstimator(t *testing.T) {
+	out, err := capture(t, "run", "-in", writePaperTopology(t),
+		"-autotune", "-autotune-rounds", "2", "-autotune-interval", "300ms",
+		"-estimator", "-estimator-interval", "1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "autotune round 0:") {
+		t.Errorf("run output missing autotune rounds:\n%s", out)
+	}
+	if !strings.Contains(out, "autotune: applied") {
+		t.Errorf("run output missing the autotune summary:\n%s", out)
 	}
 }

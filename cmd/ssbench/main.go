@@ -60,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	corpusHorizon := fs.Float64("corpus-horizon", 12, "corpus: simulated seconds per measurement")
 	corpusRounds := fs.Int("corpus-rounds", 8, "corpus: autotune hill-climb measurement rounds")
 	corpusWorkloads := fs.String("workloads", "", "corpus: comma-separated workload shapes (default steady,bursty,diurnal,hotkey)")
+	estimatorSeeds := fs.Int("estimator-seeds", 0, "estimator: corpus seeds for the probe-free sweep (0 = default 34)")
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,12 +87,16 @@ func run(args []string, stdout io.Writer) error {
 	if *corpusWorkloads != "" {
 		corpus.Workloads = strings.Split(*corpusWorkloads, ",")
 	}
+	estimator := experiments.EstimatorOptions{Seeds: *estimatorSeeds}
 	if *quick {
 		setup.Topologies = 10
 		setup.Sim.Horizon = 15
 		corpus.Topologies = 5
 		corpus.Horizon = 6
 		corpus.Rounds = 3
+		if estimator.Seeds == 0 {
+			estimator.Seeds = 8
+		}
 	}
 	opts := experiments.Options{
 		Setup: setup,
@@ -104,6 +109,7 @@ func run(args []string, stdout io.Writer) error {
 			MaxRestarts: *liveRestarts,
 		},
 		Corpus:           corpus,
+		Estimator:        estimator,
 		DriftTable:       *driftTable,
 		SlowFactor:       *reoptSlow,
 		AutotuneRounds:   *autotuneRounds,

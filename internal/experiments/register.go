@@ -109,6 +109,15 @@ func init() {
 		Check: CheckCorpus,
 	})
 	Register(Scenario{
+		Name:    "estimator",
+		Tags:    []string{"sim", "extension", "workload", "default"},
+		Summary: "probe-free service-rate estimation vs qsim ground truth",
+		Run: func(ctx context.Context, o Options) (Result, error) {
+			return Estimator(ctx, o.Estimator)
+		},
+		Check: CheckEstimator,
+	})
+	Register(Scenario{
 		Name:    "fig7live",
 		Tags:    []string{"live", "paper"},
 		Summary: "Figure 7 measured on the live goroutine runtime",

@@ -26,6 +26,8 @@ type Options struct {
 	Corpus CorpusOptions
 	// Chaos tunes the fault-injection soak scenario.
 	Chaos ChaosOptions
+	// Estimator tunes the probe-free estimation sweep.
+	Estimator EstimatorOptions
 	// DriftTable selects the paper-example variant for the drift
 	// walkthrough (1 or 2; default 2).
 	DriftTable int

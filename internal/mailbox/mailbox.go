@@ -177,6 +177,15 @@ func (m *Mailbox[T]) Queued() int {
 // Capacity returns the BAS bound the mailbox was built with.
 func (m *Mailbox[T]) Capacity() int { return m.capacity }
 
+// Occupancy reports the instantaneous depth together with the BAS bound
+// in one call — the sampling hook the online service-rate estimator
+// polls. Like Queued it is a single atomic read (channel length or credit
+// counter) in either transport mode, so a high-frequency sampler costs
+// the dataplane nothing.
+func (m *Mailbox[T]) Occupancy() (queued, capacity int) {
+	return m.Queued(), m.capacity
+}
+
 // Pending reports how many tuples the consumer can still receive: the
 // queued tuples plus, in batched mode, the unread tail of the batch the
 // consumer is part-way through (whose credits were already released at

@@ -237,6 +237,13 @@ type DriftReport struct {
 	// what opt.Reoptimize substitutes into the topology before re-running
 	// the optimizer.
 	MeasuredProfiles []profiler.Profile
+	// ProfileConfidence, when non-nil, weights MeasuredProfiles per
+	// operator in [0,1]: 1 means trust the measurement outright, 0 means
+	// keep the declared profile. The probe path leaves it nil (timed
+	// samples are direct measurements); the online estimator fills it so
+	// opt.Reoptimize can blend low-evidence estimates toward the declared
+	// model instead of acting on noise.
+	ProfileConfidence []float64
 	// Replicas are the replication degrees the prediction (and the live
 	// run) used; nil means all ones.
 	Replicas []int
@@ -274,6 +281,23 @@ func analyze(t *core.Topology, replicas []int) (*core.Analysis, error) {
 // snapshot (used for measured service times and the reprofiled
 // re-analysis; nil skips both).
 func DriftFrom(t *core.Topology, replicas []int, m *MeasuredRates, snap *Snapshot) (*DriftReport, error) {
+	var profiles []profiler.Profile
+	if snap != nil {
+		var err error
+		if profiles, err = snap.Profiles(); err != nil {
+			return nil, err
+		}
+	}
+	return DriftFromProfiles(t, replicas, m, profiles, nil)
+}
+
+// DriftFromProfiles builds the report from explicit measured rates and
+// pre-built measured profiles — the provider seam shared by the probe path
+// (profiles rebuilt from snapshot histograms, nil confidence) and the
+// online estimator (profiles reconstructed from occupancy samples, with
+// per-operator confidences). profiles may be nil to skip the reprofiled
+// re-analysis.
+func DriftFromProfiles(t *core.Topology, replicas []int, m *MeasuredRates, profiles []profiler.Profile, confidence []float64) (*DriftReport, error) {
 	if m == nil {
 		return nil, errors.New("obs: nil measured rates")
 	}
@@ -284,17 +308,15 @@ func DriftFrom(t *core.Topology, replicas []int, m *MeasuredRates, snap *Snapsho
 	if len(m.Departure) != t.Len() {
 		return nil, fmt.Errorf("obs: measured %d operators, topology has %d", len(m.Departure), t.Len())
 	}
-	var profiles []profiler.Profile
-	if snap != nil {
-		if profiles, err = snap.Profiles(); err != nil {
-			return nil, err
-		}
+	if confidence != nil && len(confidence) != len(profiles) {
+		return nil, fmt.Errorf("obs: %d confidences for %d profiles", len(confidence), len(profiles))
 	}
 	rep := &DriftReport{
 		PredictedThroughput: a.Throughput(),
 		MeasuredThroughput:  m.Throughput,
 		ThroughputErr:       stats.RelErr(m.Throughput, a.Throughput()),
 		MeasuredProfiles:    profiles,
+		ProfileConfidence:   confidence,
 		Seconds:             m.Seconds,
 	}
 	if replicas != nil {

@@ -1,0 +1,343 @@
+package obs_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/obs"
+	"spinstreams/internal/profiler"
+)
+
+// Property tests for the online service-rate estimator: it must never
+// invent a rate for a station without occupancy evidence, must degrade to
+// low confidence (not garbage) under full saturation, and its confidence
+// must grow monotonically with the sample window. Run race-enabled in CI.
+
+// estTick is the synthetic sampling period used by these tests.
+const estTick = 0.01
+
+// pipeInfos is a 3-operator pipeline's station identity set: one station
+// per op, all single-replica.
+func pipeInfos() []obs.StationInfo {
+	return []obs.StationInfo{
+		{Name: "src", Role: "source", Op: 0, Source: true},
+		{Name: "work", Role: "worker", Op: 1},
+		{Name: "sink", Role: "worker", Op: 2, Sink: true},
+	}
+}
+
+// pipeTopology is the declared model matching pipeInfos.
+func pipeTopology(t *testing.T) *core.Topology {
+	t.Helper()
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 2e-3})
+	work := topo.MustAddOperator(core.Operator{Name: "work", Kind: core.KindStateless, ServiceTime: 4e-3})
+	sink := topo.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 1e-3})
+	topo.MustConnect(src, work, 1)
+	topo.MustConnect(work, sink, 1)
+	return topo
+}
+
+// TestEstimatorZeroOccupancyNoRate: a station whose queue never holds a
+// tuple yields no busy intervals, so the estimator reports no rate for it
+// (service time 0, confidence 0) and profiler.Apply keeps the declared
+// profile untouched.
+func TestEstimatorZeroOccupancyNoRate(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	var consumed uint64
+	for tick := 0; tick < 50; tick++ {
+		samples := []obs.StationSample{
+			{Info: infos[0], Consumed: consumed, Emitted: consumed},
+			// work and sink drain instantly: depth pinned at zero.
+			{Info: infos[1], Queued: 0, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+			{Info: infos[2], Queued: 0, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+		}
+		if err := est.Observe(estTick, samples); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		consumed += 10
+	}
+	m, err := est.Measure()
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	for _, op := range []int{1, 2} {
+		e := m.Estimates[op]
+		if e.BusySamples != 0 || e.Rate != 0 || e.ServiceTime != 0 || e.Confidence != 0 {
+			t.Fatalf("op %d with zero occupancy reported busy=%d rate=%g st=%g conf=%g; want all zero",
+				op, e.BusySamples, e.Rate, e.ServiceTime, e.Confidence)
+		}
+	}
+	// The source always has work: it must be estimated (10 tuples per 10ms
+	// tick = 1000 t/s).
+	if src := m.Estimates[0]; math.Abs(src.Rate-1000) > 1e-6 || src.Confidence <= 0 {
+		t.Fatalf("source estimate = %+v; want rate 1000 with positive confidence", src)
+	}
+	// Declared profiles survive the zero-evidence operators.
+	topo := pipeTopology(t)
+	if err := profiler.Apply(topo, m.Profiles); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if st := topo.Op(core.OpID(1)).ServiceTime; st != 4e-3 {
+		t.Fatalf("work declared service time overwritten to %g despite zero evidence", st)
+	}
+	if st := topo.Op(core.OpID(0)).ServiceTime; math.Abs(st-1e-3) > 1e-12 {
+		t.Fatalf("source service time = %g; want measured 1e-3", st)
+	}
+}
+
+// TestEstimatorSaturationLowConfidence: with every mailbox pinned at
+// capacity and every producer stalled on a full downstream buffer, the
+// estimator must degrade to "no evidence" — zero rates at zero confidence,
+// saturation visible in the sample counts — rather than emitting garbage.
+func TestEstimatorSaturationLowConfidence(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	for tick := 0; tick < 40; tick++ {
+		samples := []obs.StationSample{
+			{Info: infos[0], Consumed: 500, Emitted: 500, Blocked: true},
+			{Info: infos[1], Queued: 64, Capacity: 64, Consumed: 400, Arrived: 464, Blocked: true},
+			// Gridlocked sink: full queue, nothing moving.
+			{Info: infos[2], Queued: 64, Capacity: 64, Consumed: 300, Arrived: 364},
+		}
+		if err := est.Observe(estTick, samples); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	m, err := est.Measure()
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	for op, e := range m.Estimates {
+		if e.Rate != 0 || e.ServiceTime != 0 || e.Confidence != 0 {
+			t.Fatalf("op %d under saturation reported rate=%g st=%g conf=%g; want zeros", op, e.Rate, e.ServiceTime, e.Confidence)
+		}
+	}
+	if m.Estimates[1].SaturatedSamples == 0 || m.Estimates[2].SaturatedSamples == 0 {
+		t.Fatalf("saturation not recorded: %+v", m.Estimates)
+	}
+	if m.Estimates[0].BlockedSamples == 0 || m.Estimates[1].BlockedSamples == 0 {
+		t.Fatalf("blocked regime not recorded: %+v", m.Estimates)
+	}
+	topo := pipeTopology(t)
+	if err := profiler.Apply(topo, m.Profiles); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	for i, want := range []float64{2e-3, 4e-3, 1e-3} {
+		if st := topo.Op(core.OpID(i)).ServiceTime; st != want {
+			t.Fatalf("op %d service time %g; want declared %g preserved under saturation", i, st, want)
+		}
+	}
+}
+
+// TestEstimatorBlockedExclusion: consumption during backpressure-throttled
+// intervals must not dilute the non-blocking rate — the Beard &
+// Chamberlain core property. The worker alternates runs of busy ticks
+// (10 tuples per tick) and blocked runs (2 tuples per tick); the estimate
+// must recover the busy-only rate, not the throughput average.
+func TestEstimatorBlockedExclusion(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	var consumed uint64
+	blockedPhase := false
+	for run := 0; run < 8; run++ {
+		for tick := 0; tick < 10; tick++ {
+			if blockedPhase {
+				consumed += 2
+			} else {
+				consumed += 10
+			}
+			samples := []obs.StationSample{
+				{Info: infos[0], Consumed: consumed, Emitted: consumed},
+				{Info: infos[1], Queued: 5, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed + 5, Blocked: blockedPhase},
+				{Info: infos[2], Queued: 1, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+			}
+			if err := est.Observe(estTick, samples); err != nil {
+				t.Fatalf("Observe: %v", err)
+			}
+		}
+		blockedPhase = !blockedPhase
+	}
+	m, err := est.Measure()
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	// Phase-transition intervals (busy start, blocked end) are credited at
+	// the midpoint, so the boundary tick's throttled consumption leaks a
+	// few percent into the pool; the estimate must still sit at the busy
+	// rate, nowhere near the throughput average.
+	work := m.Estimates[1]
+	if math.Abs(work.Rate-1000) > 50 {
+		t.Fatalf("non-blocking rate = %g; want ~1000 (busy intervals only)", work.Rate)
+	}
+	// The contaminated average the estimator must NOT report.
+	naive := m.Rates.Consumed[1]
+	if naive >= 900 {
+		t.Fatalf("windowed consumption rate %g should sit well below the non-blocking rate (test is vacuous)", naive)
+	}
+	if work.BlockedSamples == 0 {
+		t.Fatalf("expected blocked intervals to be recorded: %+v", work)
+	}
+}
+
+// TestEstimatorConvergenceMonotone: under a steady synthetic feed the
+// confidence grows monotonically with the number of busy intervals and the
+// rate estimate stays pinned on the true value at every window size.
+func TestEstimatorConvergenceMonotone(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	var consumed uint64
+	lastConf := -1.0
+	for tick := 0; tick < 60; tick++ {
+		consumed += 10
+		samples := []obs.StationSample{
+			{Info: infos[0], Consumed: consumed, Emitted: consumed},
+			{Info: infos[1], Queued: 3, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed + 3},
+			{Info: infos[2], Queued: 1, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+		}
+		if err := est.Observe(estTick, samples); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if tick < 2 {
+			continue // window not primed until the second sample
+		}
+		m, err := est.Measure()
+		if err != nil {
+			t.Fatalf("Measure at tick %d: %v", tick, err)
+		}
+		work := m.Estimates[1]
+		if math.Abs(work.Rate-1000) > 1e-6 {
+			t.Fatalf("tick %d: rate %g; want 1000 at every window size", tick, work.Rate)
+		}
+		if work.Confidence < lastConf {
+			t.Fatalf("tick %d: confidence %g < previous %g; must be monotone", tick, work.Confidence, lastConf)
+		}
+		lastConf = work.Confidence
+	}
+	if lastConf < 0.8 {
+		t.Fatalf("final confidence %g; want > 0.8 after 60 busy intervals", lastConf)
+	}
+}
+
+// TestEstimatorRetiredFreeze: a station flagged retired mid-window stops
+// contributing — its post-retirement counter movement must not leak into
+// the op estimate, while a carried replica keeps the estimate alive.
+func TestEstimatorRetiredFreeze(t *testing.T) {
+	infos := []obs.StationInfo{
+		{Name: "src", Role: "source", Op: 0, Source: true},
+		{Name: "work/em", Role: "emitter", Op: 1},
+		{Name: "work/1", Role: "worker", Op: 1},
+		{Name: "work/2", Role: "worker", Op: 1},
+		{Name: "work/col", Role: "collector", Op: 1},
+		{Name: "sink", Role: "worker", Op: 2, Sink: true},
+	}
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	var c1, c2 uint64
+	feed := func(retired bool) {
+		samples := []obs.StationSample{
+			{Info: infos[0], Consumed: c1 + c2, Emitted: c1 + c2},
+			{Info: infos[1], Queued: 1, Capacity: 64, Consumed: c1 + c2, Emitted: c1 + c2, Arrived: c1 + c2},
+			{Info: infos[2], Queued: 4, Capacity: 64, Consumed: c1},
+			{Info: infos[3], Queued: 4, Capacity: 64, Consumed: c2, Retired: retired},
+			{Info: infos[4], Queued: 0, Capacity: 64, Consumed: c1 + c2, Emitted: c1 + c2},
+			{Info: infos[5], Queued: 1, Capacity: 64, Consumed: c1 + c2, Emitted: c1 + c2},
+		}
+		if err := est.Observe(estTick, samples); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	for tick := 0; tick < 20; tick++ {
+		c1 += 10
+		c2 += 10
+		feed(false)
+	}
+	// Retire work/2; its counter then jumps absurdly (as if re-read after a
+	// redeploy) — none of it may count.
+	for tick := 0; tick < 20; tick++ {
+		c1 += 10
+		c2 += 100000
+		feed(true)
+	}
+	m, err := est.Measure()
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	work := m.Estimates[1]
+	if math.Abs(work.Rate-1000) > 1e-6 {
+		t.Fatalf("pooled rate %g; want 1000 — retired replica's counters leaked in", work.Rate)
+	}
+	if work.Workers != 1 {
+		t.Fatalf("live workers = %d; want 1 after retirement", work.Workers)
+	}
+}
+
+// TestEstimatorStationGrowth: the station set is append-only (live
+// reconfigurations extend it); growing mid-window works, shrinking is an
+// error.
+func TestEstimatorStationGrowth(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	base := func(n int) []obs.StationSample {
+		s := make([]obs.StationSample, 0, n)
+		for i := 0; i < n; i++ {
+			s = append(s, obs.StationSample{Info: infos[i], Queued: 2, Capacity: 64})
+		}
+		return s
+	}
+	if err := est.Observe(estTick, base(2)); err != nil {
+		t.Fatalf("Observe(2): %v", err)
+	}
+	if err := est.Observe(estTick, base(3)); err != nil {
+		t.Fatalf("Observe(3) after growth: %v", err)
+	}
+	if err := est.Observe(estTick, base(2)); err == nil {
+		t.Fatal("Observe(2) after 3: want error on shrinking station set")
+	}
+}
+
+// TestEstimatorConcurrentObserveMeasure exercises the estimator's locking
+// under the race detector: a sampler goroutine feeding ticks while another
+// measures and rolls windows.
+func TestEstimatorConcurrentObserveMeasure(t *testing.T) {
+	infos := pipeInfos()
+	est := obs.NewEstimator(obs.EstimatorConfig{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var consumed uint64
+		for tick := 0; tick < 2000; tick++ {
+			consumed += 5
+			_ = est.Observe(estTick, []obs.StationSample{
+				{Info: infos[0], Consumed: consumed, Emitted: consumed},
+				{Info: infos[1], Queued: 2, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+				{Info: infos[2], Queued: 1, Capacity: 64, Consumed: consumed, Emitted: consumed, Arrived: consumed},
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_, _ = est.Measure()
+			if i%50 == 49 {
+				est.BeginWindow()
+			}
+		}
+	}()
+	wg.Wait()
+	// The measurer may have rolled the window after the feed ended; two
+	// more ticks guarantee a non-empty window for the final check.
+	for tick := 0; tick < 2; tick++ {
+		_ = est.Observe(estTick, []obs.StationSample{
+			{Info: infos[0], Consumed: 99999, Emitted: 99999},
+			{Info: infos[1], Queued: 2, Capacity: 64, Consumed: 99999, Emitted: 99999, Arrived: 99999},
+			{Info: infos[2], Queued: 1, Capacity: 64, Consumed: 99999, Emitted: 99999, Arrived: 99999},
+		})
+	}
+	if _, err := est.Measure(); err != nil {
+		t.Fatalf("final Measure: %v", err)
+	}
+}

@@ -74,6 +74,15 @@ func (s *Snapshot) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "spinstreams_station_%s{%s} %d\n", g.name, promLabels(ss), g.get(ss))
 		}
 	}
+	// First-class mailbox occupancy gauge: the signal the online
+	// service-rate estimator samples, exported under its own stable name so
+	// dashboards can watch exactly what the estimator sees
+	// (spinstreams_station_queue_depth remains the legacy alias).
+	fmt.Fprintf(w, "# TYPE ss_mailbox_depth gauge\n")
+	for i := range s.Stations {
+		ss := &s.Stations[i]
+		fmt.Fprintf(w, "ss_mailbox_depth{%s} %d\n", promLabels(ss), ss.Queued)
+	}
 	for _, h := range []struct {
 		name string
 		get  func(*StationSnapshot) *HistSummaryRef

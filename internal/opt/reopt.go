@@ -89,6 +89,47 @@ func (p *DeltaPlan) String() string {
 	return b.String()
 }
 
+// blendProfiles weights measured profiles against the topology's declared
+// ones per operator: confidence 1 trusts the measurement outright, 0 keeps
+// the declared profile (expressed as a zero service time, which
+// profiler.Apply treats as "leave the vertex untouched"). Confidences are
+// clamped to [0,1]; measurements without a service time fall back to the
+// declared profile regardless of confidence.
+func blendProfiles(t *core.Topology, measured []profiler.Profile, confidence []float64) []profiler.Profile {
+	out := append([]profiler.Profile(nil), measured...)
+	for i := range out {
+		if i >= t.Len() {
+			break
+		}
+		conf := 0.0
+		if i < len(confidence) {
+			conf = confidence[i]
+		}
+		if conf < 0 {
+			conf = 0
+		} else if conf > 1 {
+			conf = 1
+		}
+		p := &out[i]
+		if p.ServiceTime <= 0 || conf == 0 {
+			p.ServiceTime = 0
+			p.InputSelectivity = 0
+			p.OutputSelectivity = 0
+			continue
+		}
+		decl := t.Op(core.OpID(i))
+		p.ServiceTime = conf*p.ServiceTime + (1-conf)*decl.ServiceTime
+		if p.OutputSelectivity > 0 {
+			declOut := decl.OutputSelectivity
+			if declOut <= 0 {
+				declOut = 1
+			}
+			p.OutputSelectivity = conf*p.OutputSelectivity + (1-conf)*declOut
+		}
+	}
+	return out
+}
+
 // Reoptimize closes the drift loop: it substitutes the drift report's
 // measured service times and selectivities into the snapshot's topology,
 // re-runs the optimizer pipeline on the re-profiled topology, and diffs
@@ -114,8 +155,15 @@ func Reoptimize(s *Snapshot, drift *obs.DriftReport, opts Options) (*DeltaPlan, 
 	if ds := lint.CheckDrift(s.Topology(), stations, drift.Replicas, len(drift.MeasuredProfiles)); len(ds) > 0 {
 		return nil, fmt.Errorf("opt: reoptimize: %w", &lint.Error{Diagnostics: ds})
 	}
+	profiles := drift.MeasuredProfiles
+	if drift.ProfileConfidence != nil {
+		// Estimator-fed reports carry per-operator confidences: blend each
+		// estimate toward the declared model in proportion, so a couple of
+		// noisy busy intervals nudge the profile instead of rewriting it.
+		profiles = blendProfiles(s.Topology(), profiles, drift.ProfileConfidence)
+	}
 	reprofiled := s.Clone()
-	if err := profiler.Apply(reprofiled, drift.MeasuredProfiles); err != nil {
+	if err := profiler.Apply(reprofiled, profiles); err != nil {
 		return nil, fmt.Errorf("opt: reoptimize: %w", err)
 	}
 

@@ -61,6 +61,30 @@ type Config struct {
 	// troughs. The envelope must be deterministic (same t, same value)
 	// for reruns to be reproducible; non-positive values are clamped.
 	RateEnvelope func(t float64) float64
+	// SampleEvery, when positive and OnSample is set, emits a periodic
+	// occupancy sample of every station each SampleEvery simulated
+	// seconds — the simulator-side analogue of the runtime's estimator
+	// sampling tick, used to validate the online service-rate estimator
+	// against ground truth.
+	SampleEvery float64
+	// OnSample receives each periodic sample. The slice is reused between
+	// calls; callers must not retain it.
+	OnSample func(now float64, stations []Sample)
+}
+
+// Sample is one station's figures at a sampling instant: instantaneous
+// queue/regime state plus cumulative counters, mirroring what the live
+// runtime's estimator sampler reads from mailboxes and the obs registry.
+type Sample struct {
+	// Station indexes the plan's stations.
+	Station int
+	// Queued and Capacity are the station mailbox's instantaneous depth
+	// and bound.
+	Queued, Capacity int
+	// Blocked reports the station is stalled on a full downstream mailbox.
+	Blocked bool
+	// Consumed, Emitted, Arrived and Dropped are cumulative counters.
+	Consumed, Emitted, Arrived, Dropped uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -260,12 +284,48 @@ func Simulate(p *plan.Plan, cfg Config) (*Result, error) {
 	// The source always has input: start it immediately.
 	s.startService(p.SourceID)
 
+	// Periodic occupancy sampling: simulator state is piecewise-constant
+	// between events, so draining every sample instant up to (and
+	// including) the next event time before processing it reads exact
+	// queue depths, regimes and counters at each instant.
+	var sampleBuf []Sample
+	nextSample := cfg.SampleEvery
+	emitSamples := func(upTo float64) {
+		if cfg.SampleEvery <= 0 || cfg.OnSample == nil {
+			return
+		}
+		if upTo > cfg.Horizon {
+			upTo = cfg.Horizon
+		}
+		for nextSample <= upTo {
+			if sampleBuf == nil {
+				sampleBuf = make([]Sample, len(s.stations))
+			}
+			for i := range s.stations {
+				st := &s.stations[i]
+				sampleBuf[i] = Sample{
+					Station:  i,
+					Queued:   st.queued,
+					Capacity: cfg.BufferSize,
+					Blocked:  st.state == stBlocked,
+					Consumed: st.consumed,
+					Emitted:  st.emitted,
+					Arrived:  st.arrived,
+					Dropped:  st.dropped,
+				}
+			}
+			cfg.OnSample(nextSample, sampleBuf)
+			nextSample += cfg.SampleEvery
+		}
+	}
+
 	snapped := false
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(event)
 		if e.at > cfg.Horizon {
 			break
 		}
+		emitSamples(e.at)
 		s.now = e.at
 		if !snapped && s.now >= cfg.Warmup {
 			s.snapshot()
@@ -274,6 +334,9 @@ func Simulate(p *plan.Plan, cfg Config) (*Result, error) {
 		s.nEvents++
 		s.complete(e.st)
 	}
+	// The last events may leave stations parked well before the horizon;
+	// their state persists, so trailing samples are still exact.
+	emitSamples(cfg.Horizon)
 	if !snapped {
 		return nil, fmt.Errorf("qsim: simulation ended before warmup (%v s)", cfg.Warmup)
 	}

@@ -83,9 +83,12 @@ func (c *Controller) Autotune(ctx context.Context, o AutotuneOptions) (*Autotune
 			return rep, nil
 		}
 		c.beginWindow()
+		if c.e.est != nil {
+			c.e.est.BeginWindow()
+		}
 		sleepCtx(ctx, interval)
 		c.e.reg.MarkWindowEnd()
-		dr, err := obs.Drift(c.topo, c.Replicas(), c.e.reg)
+		dr, err := c.measureRound()
 		if err != nil {
 			return rep, err
 		}
@@ -112,4 +115,19 @@ func (c *Controller) Autotune(ctx context.Context, o AutotuneOptions) (*Autotune
 		}
 	}
 	return rep, nil
+}
+
+// measureRound builds one round's drift report: from the online estimator
+// when Config.Estimator is set (occupancy-derived rates and profiles with
+// confidence weights, no timed probes), from the registry's window marks
+// and probe histograms otherwise.
+func (c *Controller) measureRound() (*obs.DriftReport, error) {
+	if c.e.est == nil {
+		return obs.Drift(c.topo, c.Replicas(), c.e.reg)
+	}
+	m, err := c.e.est.Measure()
+	if err != nil {
+		return nil, err
+	}
+	return obs.DriftFromProfiles(c.topo, c.Replicas(), m.Rates, m.Profiles, m.Confidence)
 }

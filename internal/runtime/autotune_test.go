@@ -117,3 +117,68 @@ func TestControllerAutotuneEndToEnd(t *testing.T) {
 	}
 	checkConserved(t, m)
 }
+
+// TestAutotuneEstimatorProbeFree closes the same autonomic loop with
+// Config.Estimator: the drift that drives each round comes from
+// occupancy-sampled service-rate estimates, and no timed probe may run —
+// after the loop, every station's Service histogram must be empty (the
+// probe path is the only writer). The misdeclared hot operator must still
+// be caught and rescaled in-flight, proving the estimator's profiles are
+// strong enough to drive reoptimization, not just to report drift.
+func TestAutotuneEstimatorProbeFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second autonomic loop")
+	}
+	model := core.NewTopology()
+	src := model.MustAddOperator(core.Operator{Name: "source", Kind: core.KindSource, ServiceTime: 2e-3})
+	hot := model.MustAddOperator(core.Operator{Name: "hot", Kind: core.KindStateless, ServiceTime: 1e-3})
+	sink := model.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 0.2e-3})
+	model.MustConnect(src, hot, 1)
+	model.MustConnect(hot, sink, 1)
+
+	binding := &Binding{Ops: map[core.OpID]operators.Operator{
+		hot: &slowOp{d: 3 * time.Millisecond},
+	}}
+	reg := obs.New()
+	cfg := Config{
+		Seed:                37,
+		Warmup:              300 * time.Millisecond,
+		ReconfigStallBudget: 5 * time.Second,
+		Obs:                 reg,
+		Estimator:           true,
+	}
+	c, err := StartTopology(model, nil, binding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Autotune(context.Background(), AutotuneOptions{
+		Interval: 700 * time.Millisecond,
+		Rounds:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied() < 1 {
+		t.Fatalf("estimator-driven autotune applied no delta in %d rounds", len(rep.Rounds))
+	}
+	for i := range rep.Rounds {
+		if dr := rep.Rounds[i].Drift; dr == nil || dr.ProfileConfidence == nil {
+			t.Errorf("round %d: drift report missing estimator confidences (probe path used?)", i)
+		}
+	}
+	if got := c.Replicas()[hot]; got < 2 {
+		t.Errorf("hot replicas = %d, want >= 2 after estimator-driven autotune", got)
+	}
+	m := mustStop(t, c)
+	// Zero timed probes: the Service histograms have exactly one writer —
+	// the probe sampler — and Config.Estimator must have disabled it.
+	for _, ss := range reg.Snapshot().Stations {
+		if ss.Service.Count != 0 {
+			t.Errorf("station %s recorded %d timed probes; estimator mode must be probe-free", ss.Name, ss.Service.Count)
+		}
+	}
+	if m.Throughput < 370 {
+		t.Errorf("post-apply throughput = %.1f/s, want > 370/s (pre-apply ceiling ~333/s)", m.Throughput)
+	}
+	checkConserved(t, m)
+}

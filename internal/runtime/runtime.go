@@ -110,6 +110,18 @@ type Config struct {
 	// Controller.Autotune round: measure for the interval, re-optimize on
 	// the drift report, apply the delta, repeat. Default 2s.
 	AutotuneInterval time.Duration
+	// Estimator enables probe-free online service-rate estimation (Beard &
+	// Chamberlain): a sampler goroutine reads every mailbox's occupancy and
+	// the station counters each EstimatorInterval, classifies regimes
+	// (idle/busy/blocked-downstream) and reconstructs non-blocking service
+	// rates without any timed probes — the per-tuple timing instrumentation
+	// is switched off entirely. Controller.Autotune then adapts from
+	// estimator measurements (obs.Estimator.Measure → obs.DriftFromProfiles)
+	// instead of probe histograms.
+	Estimator bool
+	// EstimatorInterval is the occupancy sampling period (default 1ms).
+	// Only meaningful with Estimator set.
+	EstimatorInterval time.Duration
 	// Faults, when non-nil, injects that deterministic fault schedule
 	// into the run: per-tuple operator slowdowns and panics, per-send
 	// delays, and — under the distributed engine — connection resets.
@@ -176,6 +188,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.AutotuneInterval == 0 {
 		c.AutotuneInterval = 2 * time.Second
+	}
+	if c.EstimatorInterval < 0 {
+		return c, fmt.Errorf("runtime: negative EstimatorInterval %v", c.EstimatorInterval)
+	}
+	if c.EstimatorInterval == 0 {
+		c.EstimatorInterval = time.Millisecond
 	}
 	if c.Generator == nil {
 		g, err := operators.NewGenerator(operators.GeneratorConfig{Seed: c.Seed + 1})
@@ -317,9 +335,13 @@ type engine struct {
 	reg *obs.Registry
 	// tracers are the registry's lifecycle hooks, fetched once; sample
 	// enables the timed histogram instrumentation (caller-supplied
-	// registry only — see Config.Obs).
+	// registry only — see Config.Obs; the online estimator disables it:
+	// probe-free means no per-tuple timing at all).
 	tracers []obs.Tracer
 	sample  bool
+	// est is the online service-rate estimator (Config.Estimator); its
+	// sampler goroutine starts with the stations and stops at shutdown.
+	est *obs.Estimator
 }
 
 // newEngine allocates the shared engine state.
@@ -329,7 +351,7 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 		binding: binding,
 		done:    make(chan struct{}),
 		reg:     cfg.Obs,
-		sample:  cfg.Obs != nil,
+		sample:  cfg.Obs != nil && !cfg.Estimator,
 	}
 	if e.reg == nil {
 		e.reg = obs.New()
@@ -627,6 +649,7 @@ func (e *engine) startStations() {
 	for i := range tb.p.Stations {
 		e.spawnStation(plan.StationID(i), rng.Uint64(), nil, nil)
 	}
+	e.startEstimator()
 }
 
 // execute starts the actors, measures the steady-state window and builds
