@@ -5,7 +5,9 @@
 //
 // The gate is deliberately one-sided and coarse: CI machines are noisy,
 // so only a large sustained drop on the headline transport fails the
-// build. Other series (per-tuple, the *-obs and *-est variants) and the
+// build. The optional -min-spsc-factor gate instead compares two series
+// inside the candidate record (spsc vs batched), which is noise-robust
+// and holds the single-producer ring to an actual speedup. Other series (per-tuple, the *-obs and *-est variants) and the
 // measured observability/estimator overheads are reported for the log but
 // never fail the gate on their own — each overhead has a dedicated
 // threshold flag that can be enabled on quiet hardware.
@@ -88,6 +90,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_runtime.json", "committed baseline record")
 	candidatePath := flag.String("candidate", "", "freshly measured record (required)")
 	maxRegression := flag.Float64("max-regression", 0.20, "max allowed fractional drop in batched throughput")
+	minSPSCFactor := flag.Float64("min-spsc-factor", 0, "fail unless candidate spsc throughput is at least this multiple of its batched throughput (0 disables)")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if candidate obs_overhead exceeds this fraction (0 disables)")
 	maxEstOverhead := flag.Float64("max-est-overhead", 0, "fail if the candidate's batched est_overhead (occupancy sampler cost over the obs baseline) exceeds this fraction (0 disables)")
 	maxStallFactor := flag.Float64("max-stall-factor", 4.0, "max allowed growth factor of the reconfiguration p99 stall over baseline")
@@ -135,7 +138,7 @@ func main() {
 		}
 		fmt.Printf("%-14s baseline %12.0f t/s  candidate %12.0f t/s  %+6.1f%%\n", k, b, c, change*100)
 	}
-	for _, k := range []string{"per-tuple", "batched"} {
+	for _, k := range []string{"per-tuple", "batched", "spsc"} {
 		if ov, ok := cand.ObsOver[k]; ok {
 			fmt.Printf("%-14s obs overhead %5.1f%%\n", k, ov*100)
 		}
@@ -163,6 +166,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL batched throughput %.0f t/s is %.1f%% below baseline %.0f t/s (limit %.0f%%)\n",
 			c, (1-c/b)*100, b, *maxRegression*100)
 		failed = true
+	}
+	// The SPSC gate is a ratio within the candidate record, not a
+	// baseline comparison: both series ran on the same machine in the same
+	// process, so host noise largely cancels and the single-producer ring
+	// must actually beat the batched MPSC path it specializes.
+	if *minSPSCFactor > 0 {
+		s, okS := cand.TuplesPer["spsc"]
+		switch {
+		case !okS || !okC || c <= 0:
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL spsc gate enabled but candidate lacks spsc or batched series")
+			failed = true
+		case s < c**minSPSCFactor:
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL spsc throughput %.0f t/s is %.2fx batched %.0f t/s (need %.2fx)\n",
+				s, s/c, c, *minSPSCFactor)
+			failed = true
+		default:
+			fmt.Printf("%-14s spsc/batched factor %.2fx (gate %.2fx)\n", "spsc", s/c, *minSPSCFactor)
+		}
 	}
 	if *maxObsOverhead > 0 {
 		for k, ov := range cand.ObsOver {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"spinstreams/internal/lint"
@@ -21,6 +22,7 @@ func cmdVet(args []string) error {
 	in := fs.String("in", "", "input topology XML")
 	members := fs.String("members", "", "comma-separated fusion candidate to verify against the Section 3.3 preconditions")
 	budget := fs.Int("replica-budget", 0, "replica budget the deployment must fit (0 = unbounded)")
+	replicas := fs.String("replicas", "", "comma-separated deployed replication degrees, one per operator in document order (enables the replica and transport-demotion checks)")
 	allowCycles := fs.Bool("allow-cycles", false, "accept feedback edges and analyze them with the fixed-point solver")
 	tracePath := fs.String("trace", "", "rewrite trace JSON to replay against the topology")
 	format := fs.String("format", "text", "output format: text, json, or sarif")
@@ -32,12 +34,22 @@ func cmdVet(args []string) error {
 		return fmt.Errorf("-in is required")
 	}
 
-	rep, err := vetFile(*in, vetOptions{
+	opts := vetOptions{
 		members:     *members,
 		budget:      *budget,
 		allowCycles: *allowCycles,
 		tracePath:   *tracePath,
-	})
+	}
+	if *replicas != "" {
+		for _, field := range strings.Split(*replicas, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return fmt.Errorf("vet: -replicas: %v", err)
+			}
+			opts.replicas = append(opts.replicas, n)
+		}
+	}
+	rep, err := vetFile(*in, opts)
 	if err != nil {
 		return err
 	}
@@ -80,6 +92,7 @@ func cmdVet(args []string) error {
 type vetOptions struct {
 	members     string
 	budget      int
+	replicas    []int
 	allowCycles bool
 	tracePath   string
 }
@@ -101,6 +114,7 @@ func vetFile(path string, o vetOptions) (*lint.Report, error) {
 		KeyLoader: func(ref string) ([]float64, error) {
 			return xmlio.LoadKeyFile(filepath.Join(filepath.Dir(path), ref))
 		},
+		Replicas:      o.replicas,
 		ReplicaBudget: o.budget,
 		AllowCycles:   o.allowCycles,
 	}

@@ -169,10 +169,12 @@ func TestGeneratedProgramBuildsAndRuns(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build failed: %v\n%s\n--- generated source ---\n%s", err, out, src)
 	}
-	// Both dataplane transports must work in generated programs.
+	// Every dataplane transport must work in generated programs,
+	// including the per-edge auto policy.
 	for _, args := range [][]string{
 		{"-duration", "400ms"},
 		{"-duration", "400ms", "-mailbox-mode", "batch", "-batch", "16", "-linger", "500us"},
+		{"-duration", "400ms", "-mailbox-mode", "auto", "-batch", "16"},
 	} {
 		run := exec.Command(bin, args...)
 		out, err := run.CombinedOutput()

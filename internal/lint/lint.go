@@ -104,6 +104,11 @@ const (
 	CodeKeyMass = "SS1007"
 	// CodeServiceTime (SS1008): NaN/Inf/non-positive service time.
 	CodeServiceTime = "SS1008"
+	// CodeSPSCDemoted (SS1009): an edge that would qualify for the
+	// lock-free SPSC ring at replication degree 1, but whose deployed
+	// degrees (as shaped by the replica budget) make it multi-producer,
+	// demoting it to the MPSC path.
+	CodeSPSCDemoted = "SS1009"
 	// CodeNonConvergent (SS1101): the steady-state solver cannot converge
 	// (feedback loop with gain-weighted cycle traffic >= 1).
 	CodeNonConvergent = "SS1101"
@@ -143,6 +148,7 @@ var Rules = []Rule{
 	{CodeReplicaBudget, "replica-budget-exceeded", SeverityWarning, "replication degrees exceed the budget or the key-domain size"},
 	{CodeKeyMass, "key-frequency-mass", SeverityError, "key frequencies missing, non-positive, or not summing to 1"},
 	{CodeServiceTime, "service-time-range", SeverityError, "service time is NaN, infinite, or not positive"},
+	{CodeSPSCDemoted, "spsc-demoted-by-replication", SeverityInfo, "single-producer edge demoted to the MPSC path by the deployed replication"},
 	{CodeNonConvergent, "solver-non-convergent", SeverityError, "steady-state analysis does not converge"},
 	{CodeSaturatedNoRemedy, "saturated-no-remedy", SeverityWarning, "saturated operator that fission cannot unblock"},
 	{CodeTraceReplay, "trace-replay-mismatch", SeverityError, "rewrite trace does not replay against the input topology"},
@@ -341,6 +347,7 @@ func RunDocument(doc *xmlio.Document, pos *xmlio.Positions, cfg Config) *Report 
 func extras(rep *Report, t *core.Topology, cfg Config) {
 	checkReplicas(rep, t, cfg)
 	checkFusionCandidate(rep, t, cfg)
+	checkTransports(rep, t, cfg)
 	costModel(rep, t, cfg)
 	if cfg.Trace != nil {
 		replayTrace(rep, t, cfg)

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"fmt"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/plan"
+)
+
+// checkTransports reports, informationally, which edges lose their SPSC
+// eligibility to the deployed replication (SS1009). The producer-set
+// analysis proves an inbox single-producer exactly when at most one
+// station holds an out-edge into it; replicating an operator inserts a
+// collector whose inbox is fed by every replica, so the operator's exit
+// edge — single-producer at degree 1 — runs on the MPSC path instead of
+// the lock-free ring. That is the right trade (the replicas buy more
+// than the ring does), but the operator sizing replica budgets should
+// see what each degree costs the dataplane, so vet surfaces it.
+func checkTransports(rep *Report, t *core.Topology, cfg Config) {
+	if len(cfg.Replicas) == 0 {
+		return
+	}
+	p, err := plan.Build(t, plan.Options{Replicas: cfg.Replicas, AllowCycles: cfg.AllowCycles})
+	if err != nil {
+		// Replica-vector problems have their own diagnostics
+		// (SS1004/SS1006); nothing transport-specific to add.
+		return
+	}
+	in := plan.FanIn(p)
+	for i := range p.Stations {
+		st := &p.Stations[i]
+		if st.Role != plan.RoleCollector || len(in[i]) <= 1 {
+			continue
+		}
+		op := t.Op(st.Op)
+		budget := ""
+		if cfg.ReplicaBudget > 0 {
+			budget = fmt.Sprintf(" under a budget of %d", cfg.ReplicaBudget)
+		}
+		rep.add(Diagnostic{Code: CodeSPSCDemoted, Operator: op.Name,
+			Message: fmt.Sprintf("%d replicas of %q%s make its collector inbox multi-producer: the edge qualifies for the SPSC ring only at degree 1 and runs on the MPSC path as deployed",
+				len(in[i]), op.Name, budget)})
+	}
+}

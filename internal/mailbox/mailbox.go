@@ -1,6 +1,6 @@
 // Package mailbox is the runtime's dataplane: a bounded, tuple-capacity-
 // accounted queue connecting one producer set to a single consumer actor.
-// It offers two interchangeable transports behind one API:
+// It offers three interchangeable transports behind one API:
 //
 //   - PerTuple: each item is one bounded-channel operation — the classic
 //     Akka BoundedMailbox analog the cost models were validated against.
@@ -8,14 +8,19 @@
 //     on batch-full or after a linger timeout so low-rate edges don't
 //     stall) and the consumer drains whole batches, amortizing the
 //     synchronization cost of a queue operation over many tuples.
+//   - SPSC: a lock-free cached-index ring for inboxes the topology
+//     analyzer proves have a single producer station — no mutex, no
+//     channel, no credit CAS on the hot path; the ring's slot count is
+//     the capacity, so slot accounting is tuple accounting (see spsc.go).
 //
-// Both transports preserve Blocking-After-Service semantics exactly: a
+// All transports preserve Blocking-After-Service semantics exactly: a
 // mailbox of capacity C admits at most C tuples before senders block
 // (or, with a send timeout, shed), regardless of batch size. Capacity is
-// accounted in tuples via a credit token per admitted item, never in
-// batches, so the steady-state model's predictions remain valid under
-// either transport. Items already admitted (holding a credit) are never
-// dropped — a send timeout can only reject the item being admitted.
+// accounted in tuples via a credit token per admitted item (a ring slot
+// in SPSC mode), never in batches, so the steady-state model's
+// predictions remain valid under any transport. Items already admitted
+// (holding a credit) are never dropped — a send timeout can only reject
+// the item being admitted.
 package mailbox
 
 import (
@@ -33,6 +38,16 @@ const (
 	PerTuple Mode = iota
 	// Batched delivers items in pooled micro-batches.
 	Batched
+	// SPSC delivers items through a lock-free single-producer ring. A
+	// mailbox may only run in this mode when exactly one station sends
+	// to it; the runtime derives that proof from the deployed plan.
+	SPSC
+	// Auto is not a transport but a selection policy: the runtime binds
+	// each inbox per-edge from the plan's producer-set analysis — the
+	// SPSC ring where the inbox is provably single-producer, the batched
+	// transport everywhere else. New rejects it; resolve before
+	// construction.
+	Auto
 )
 
 // String returns the canonical flag spelling of the mode.
@@ -42,6 +57,10 @@ func (m Mode) String() string {
 		return "tuple"
 	case Batched:
 		return "batch"
+	case SPSC:
+		return "spsc"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -54,8 +73,12 @@ func ParseMode(s string) (Mode, error) {
 		return PerTuple, nil
 	case "batch", "batched":
 		return Batched, nil
+	case "spsc", "ring":
+		return SPSC, nil
+	case "auto", "plan":
+		return Auto, nil
 	default:
-		return 0, fmt.Errorf("mailbox: unknown mode %q (want tuple or batch)", s)
+		return 0, fmt.Errorf("mailbox: unknown mode %q (valid modes: tuple, batch, spsc, auto)", s)
 	}
 }
 
@@ -134,7 +157,35 @@ type Mailbox[T any] struct {
 	// the single consumer touches them.
 	cur []T
 	idx int
+
+	// SPSC ring transport state (mode == SPSC); see spsc.go. The ring
+	// has exactly capacity slots, so slot accounting is tuple-capacity
+	// accounting. head/tail are monotonic positions (not wrapped
+	// indices); the pads keep the consumer-written and producer-written
+	// fields on separate cache lines so the indices don't ping-pong.
+	head  atomic.Uint64 // consumed count; written only by the consumer
+	chead uint64        // consumer's mirror of head (plain, consumer-only)
+	_     [6]uint64
+	tail  atomic.Uint64 // published count; written only by the producer
+	ptail uint64        // producer's mirror of tail (plain, producer-only)
+	phead uint64        // producer's cached view of head
+	_     [5]uint64
+	// prodWait/consWait flag a parked side; the releasing side swaps the
+	// flag false and signals the matching 1-buffered channel, so a wait
+	// never misses a wakeup and a stale token only costs a spurious loop.
+	prodWait atomic.Bool
+	consWait atomic.Bool
+	notFull  chan struct{}
+	notEmpty chan struct{}
+	// ring is the slot array; written at tail by the producer, read at
+	// head by the consumer, never resized.
+	ring []T
 }
+
+// Mode reports the transport the mailbox was built with; the runtime's
+// per-inbox loop dispatch and the reconfiguration controller's demotion
+// scan both read it.
+func (m *Mailbox[T]) Mode() Mode { return m.mode }
 
 // New builds a mailbox with capacity cfg.Capacity tuples.
 func New[T any](cfg Config) (*Mailbox[T], error) {
@@ -159,6 +210,18 @@ func New[T any](cfg Config) (*Mailbox[T], error) {
 		m.batches = make(chan []T, cfg.Capacity)
 		batch := m.batch
 		m.pool.New = func() any { return make([]T, 0, batch) }
+	case SPSC:
+		m.batch = cfg.Batch
+		if m.batch <= 0 {
+			m.batch = DefaultBatch
+		}
+		m.ring = make([]T, cfg.Capacity)
+		m.notFull = make(chan struct{}, 1)
+		m.notEmpty = make(chan struct{}, 1)
+		batch := m.batch
+		m.pool.New = func() any { return make([]T, 0, batch) }
+	case Auto:
+		return nil, fmt.Errorf("mailbox: mode auto is a per-edge selection policy; resolve it to a concrete transport before construction")
 	default:
 		return nil, fmt.Errorf("mailbox: unknown mode %v", cfg.Mode)
 	}
@@ -168,10 +231,23 @@ func New[T any](cfg Config) (*Mailbox[T], error) {
 // Queued reports the number of admitted tuples not yet taken by the
 // consumer (approximate under concurrency; exact when quiescent).
 func (m *Mailbox[T]) Queued() int {
-	if m.mode == PerTuple {
+	switch m.mode {
+	case PerTuple:
 		return len(m.ch)
+	case SPSC:
+		// The two loads are not a consistent snapshot when sampled from
+		// a third goroutine; clamp the transient skew so a reading never
+		// leaves [0, capacity] (exact whenever either side is quiescent).
+		q := int(m.tail.Load() - m.head.Load())
+		if q < 0 {
+			q = 0
+		} else if q > m.capacity {
+			q = m.capacity
+		}
+		return q
+	default:
+		return m.capacity - int(m.avail.Load())
 	}
-	return m.capacity - int(m.avail.Load())
 }
 
 // Capacity returns the BAS bound the mailbox was built with.
@@ -194,7 +270,7 @@ func (m *Mailbox[T]) Occupancy() (queued, capacity int) {
 // to decide when a station has fully quiesced.
 func (m *Mailbox[T]) Pending() int {
 	n := m.Queued()
-	if m.mode == Batched && m.cur != nil {
+	if m.mode != PerTuple && m.cur != nil {
 		n += len(m.cur) - m.idx
 	}
 	return n
@@ -231,6 +307,17 @@ func (m *Mailbox[T]) Drain() int {
 		n += len(m.cur) - m.idx
 	}
 	m.cur, m.idx = nil, 0
+	if m.mode == SPSC {
+		// Quiescent by contract, so head/tail are exact: everything
+		// between them is an admitted, undelivered tuple. Advancing head
+		// to tail frees every slot, which is the ring's "credits
+		// restored" state.
+		h, t := m.head.Load(), m.tail.Load()
+		n += int(t - h)
+		m.chead = t
+		m.head.Store(t)
+		return n
+	}
 	for {
 		select {
 		case b := <-m.batches:
@@ -305,6 +392,14 @@ func (m *Mailbox[T]) Recv(done <-chan struct{}) (t T, ok bool) {
 			m.pool.Put(m.cur[:0])
 			m.cur = nil
 		}
+		if m.mode == SPSC {
+			b, ok := m.recvRing(done)
+			if !ok {
+				return t, false
+			}
+			m.cur, m.idx = b, 0
+			continue
+		}
 		select {
 		case b := <-m.batches:
 			// The whole batch leaves the queue in one operation; its
@@ -343,6 +438,9 @@ func (m *Mailbox[T]) RecvBatch(done <-chan struct{}) ([]T, bool) {
 		m.pool.Put(m.cur[:0])
 		m.cur = nil
 	}
+	if m.mode == SPSC {
+		return m.recvRing(done)
+	}
 	select {
 	case b := <-m.batches:
 		// The whole batch leaves the queue in one operation and its
@@ -356,7 +454,7 @@ func (m *Mailbox[T]) RecvBatch(done <-chan struct{}) ([]T, bool) {
 
 // Recycle returns a batch obtained from RecvBatch to the buffer pool.
 func (m *Mailbox[T]) Recycle(b []T) {
-	if m.mode == Batched && b != nil {
+	if m.mode != PerTuple && b != nil {
 		m.pool.Put(b[:0])
 	}
 }
@@ -387,6 +485,9 @@ func (m *Mailbox[T]) NewSender(timeout time.Duration) *Sender[T] {
 func (s *Sender[T]) Send(t T, done <-chan struct{}) SendResult {
 	if s.m.mode == PerTuple {
 		return s.sendTuple(t, done)
+	}
+	if s.m.mode == SPSC {
+		return s.sendRing(t, done)
 	}
 	// Admission: one credit per tuple, acquired before the item enters
 	// the partial batch. Fast path first: an immediate credit avoids the
@@ -474,6 +575,9 @@ func (s *Sender[T]) SendMany(ts []T, done <-chan struct{}) (sent, dropped int, o
 		}
 		return sent, dropped, true
 	}
+	if s.m.mode == SPSC {
+		return s.sendManyRing(ts, done)
+	}
 	i := 0
 	for i < len(ts) {
 		n := s.m.tryAcquireN(len(ts) - i)
@@ -542,9 +646,10 @@ func (s *Sender[T]) sendTuple(t T, done <-chan struct{}) SendResult {
 }
 
 // Flush hands the partial batch to the consumer immediately. A no-op in
-// PerTuple mode and on an empty batch.
+// PerTuple mode, on an empty batch, and in SPSC mode (the ring publishes
+// every admitted item at send time; there is never a held-back partial).
 func (s *Sender[T]) Flush() {
-	if s.m.mode == PerTuple {
+	if s.m.mode != Batched {
 		return
 	}
 	s.mu.Lock()

@@ -1,12 +1,15 @@
 package mailbox
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
-func modes() []Mode { return []Mode{PerTuple, Batched} }
+// modes lists every concrete transport; the suites below drive at most
+// one producer goroutine at a time, so the SPSC ring is a legal target.
+func modes() []Mode { return []Mode{PerTuple, Batched, SPSC} }
 
 // TestBASCapacityExact pins the core BAS invariant for both transports: a
 // mailbox of capacity C admits exactly C tuples with no consumer running,
@@ -191,7 +194,10 @@ func TestDoneUnblocksBothSides(t *testing.T) {
 // modes and checks exactly-once delivery (run under -race in CI).
 func TestConcurrentSenders(t *testing.T) {
 	const senders, each = 8, 2000
-	for _, mode := range modes() {
+	// Multi-producer by construction, so only the MPSC transports apply
+	// (the SPSC ring's single-producer contract is the analyzer's to
+	// prove, not the mailbox's to tolerate).
+	for _, mode := range []Mode{PerTuple, Batched} {
 		t.Run(mode.String(), func(t *testing.T) {
 			m, err := New[int](Config{Capacity: 16, Mode: mode, Batch: 8, Linger: 100 * time.Microsecond})
 			if err != nil {
@@ -234,16 +240,27 @@ func TestParseMode(t *testing.T) {
 	for in, want := range map[string]Mode{
 		"": PerTuple, "tuple": PerTuple, "per-tuple": PerTuple,
 		"batch": Batched, "batched": Batched,
+		"spsc": SPSC, "ring": SPSC,
+		"auto": Auto, "plan": Auto,
 	} {
 		got, err := ParseMode(in)
 		if err != nil || got != want {
 			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := ParseMode("bogus"); err == nil {
-		t.Error("ParseMode accepted bogus mode")
+	_, err := ParseMode("bogus")
+	if err == nil {
+		t.Fatal("ParseMode accepted bogus mode")
 	}
-	if PerTuple.String() != "tuple" || Batched.String() != "batch" {
+	// The error is the flag's usage text: it must enumerate every valid
+	// spelling so a typo tells the operator what to type instead.
+	for _, mode := range []Mode{PerTuple, Batched, SPSC, Auto} {
+		if !strings.Contains(err.Error(), mode.String()) {
+			t.Errorf("ParseMode error %q does not mention mode %q", err, mode)
+		}
+	}
+	if PerTuple.String() != "tuple" || Batched.String() != "batch" ||
+		SPSC.String() != "spsc" || Auto.String() != "auto" {
 		t.Error("Mode.String not canonical")
 	}
 }

@@ -15,7 +15,16 @@ type Generator struct {
 	keys      *stats.Zipf
 	numFields int
 	seq       uint64
+	// arena is the unconsumed tail of a block allocation the payload
+	// slices are carved from: one make per block instead of one per
+	// tuple. Slices never overlap (each tuple owns its full-capacity
+	// sub-slice), so in-place field mutation downstream stays safe; the
+	// block is garbage once every tuple carved from it is.
+	arena []float64
 }
+
+// arenaTuples is how many tuples' worth of payload one arena block holds.
+const arenaTuples = 256
 
 // GeneratorConfig configures a Generator.
 type GeneratorConfig struct {
@@ -50,16 +59,29 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 
 // Next returns the next synthetic tuple.
 func (g *Generator) Next() Tuple {
-	fields := make([]float64, g.numFields)
+	var t Tuple
+	g.NextInto(&t)
+	return t
+}
+
+// NextInto writes the next synthetic tuple in place — the zero-copy form
+// the ring source uses to generate directly into reserved ring slots.
+// Every Tuple field is assigned, so stale slot contents never leak. The
+// stream is identical to repeated Next calls (same RNG draw order).
+func (g *Generator) NextInto(t *Tuple) {
+	if len(g.arena) < g.numFields {
+		g.arena = make([]float64, g.numFields*arenaTuples)
+	}
+	fields := g.arena[:g.numFields:g.numFields]
+	g.arena = g.arena[g.numFields:]
 	for i := range fields {
 		fields[i] = g.rng.Float64()
 	}
 	g.seq++
-	return Tuple{
-		Key:    uint64(g.keys.Sample()),
-		Seq:    g.seq,
-		Fields: fields,
-	}
+	t.Key = uint64(g.keys.Sample())
+	t.Seq = g.seq
+	t.Port = 0
+	t.Fields = fields
 }
 
 // KeyFrequencies returns the probability mass function of the generated

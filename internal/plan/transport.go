@@ -1,0 +1,70 @@
+package plan
+
+// Edge-topology transport analysis: which physical inboxes are provably
+// single-producer. The proof is purely structural — a station's inbox is
+// single-producer exactly when at most one station in the deployed plan
+// has an out-edge targeting it — so it already accounts for everything
+// plan expansion does to the graph: replica fan-out (an emitter is the
+// sole producer of each worker replica, n workers all feed the
+// collector), fused meta-stations (members collapse into one producer),
+// and shuffle vs keyed routing (the discipline changes which tuples take
+// an edge, never which stations hold a sender on it).
+//
+// The runtime binds provably single-producer inboxes to the lock-free
+// SPSC ring and everything else to the MPSC batched transport; the
+// optimizer records the same analysis in the rewrite trace so
+// `spinstreams vet` can replay it against the deployed plan.
+
+// Transport tags the dataplane mechanism an inbox can run on.
+type Transport int
+
+const (
+	// TransportMPSC is the multi-producer path (the batched transport).
+	TransportMPSC Transport = iota
+	// TransportSPSC is the lock-free single-producer ring, legal only
+	// for inboxes with at most one producer station.
+	TransportSPSC
+)
+
+// String returns the trace spelling of the transport.
+func (t Transport) String() string {
+	if t == TransportSPSC {
+		return "spsc"
+	}
+	return "mpsc"
+}
+
+// FanIn returns, for each station, the stations holding an out-edge into
+// it, in ascending station order. Duplicate edges between the same pair
+// (multi-port routing) still count as one producer: what bounds the
+// transport choice is how many goroutines may hold a sender, not how
+// many logical edges they multiplex over it.
+func FanIn(p *Plan) [][]StationID {
+	in := make([][]StationID, len(p.Stations))
+	for i := range p.Stations {
+		from := StationID(i)
+		for _, e := range p.Stations[i].Out {
+			dst := in[e.To]
+			if n := len(dst); n > 0 && dst[n-1] == from {
+				continue // second port on the same edge pair
+			}
+			in[e.To] = append(dst, from)
+		}
+	}
+	return in
+}
+
+// Transports tags each station's inbox with the strongest transport the
+// producer-set analysis can prove: the SPSC ring where at most one
+// station produces into it (sources trivially qualify — nothing produces
+// into them), the MPSC path everywhere else.
+func Transports(p *Plan) []Transport {
+	in := FanIn(p)
+	ts := make([]Transport, len(in))
+	for i, producers := range in {
+		if len(producers) <= 1 {
+			ts[i] = TransportSPSC
+		}
+	}
+	return ts
+}

@@ -21,7 +21,7 @@ import (
 // migration must not duplicate or lose keys' tuples.
 func TestChaosReconfigConservation(t *testing.T) {
 	for sched := 0; sched < chaosSchedules(t); sched++ {
-		for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched, mailbox.Auto} {
 			t.Run(fmt.Sprintf("seed%d/%v", sched, mode), func(t *testing.T) {
 				t.Parallel()
 				inj := faultinject.New(faultinject.Config{

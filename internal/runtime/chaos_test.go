@@ -128,10 +128,12 @@ func checkCreditsRestored(t *testing.T, e *engine) {
 // TestChaosConservationLocal is the core chaos invariant: under injected
 // slowdowns, panics (with unlimited restart), and send delays — plus
 // shedding from a tight SendTimeout — every generated tuple is accounted
-// for exactly, in both transports, across multiple fault schedules.
+// for exactly, in every transport, across multiple fault schedules. The
+// auto policy runs the whole chain on SPSC rings (fan-in 1 everywhere),
+// so the ring's blocking, shedding, and drain paths all see the faults.
 func TestChaosConservationLocal(t *testing.T) {
 	for sched := 0; sched < chaosSchedules(t); sched++ {
-		for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+		for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched, mailbox.Auto} {
 			t.Run(fmt.Sprintf("seed%d/%v", sched, mode), func(t *testing.T) {
 				t.Parallel()
 				inj := faultinject.New(faultinject.Config{
@@ -162,11 +164,11 @@ func TestChaosConservationLocal(t *testing.T) {
 }
 
 // TestChaosSheddingParityUnderFaults asserts the shedding semantics
-// survive injected faults identically in both transports: tuples are
+// survive injected faults identically in every transport: tuples are
 // shed (not lost) under pressure, and the conservation identity holds
 // for each mode.
 func TestChaosSheddingParityUnderFaults(t *testing.T) {
-	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched, mailbox.Auto} {
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
 			inj := faultinject.New(faultinject.Config{
@@ -195,7 +197,7 @@ func TestChaosSheddingParityUnderFaults(t *testing.T) {
 // keeps consuming (so the upstream cannot deadlock), and accounting
 // stays exact with the discarded tuples counted as failed.
 func TestChaosDegradedStation(t *testing.T) {
-	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched, mailbox.Auto} {
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
 			inj := faultinject.New(faultinject.Config{
@@ -278,7 +280,7 @@ func (c *countingTracer) OnDegrade(_ int)           { c.degrades.Add(1) }
 // surfaces through the hooks, and emit accounting covers both admitted
 // and shed tuples.
 func TestChaosTracerLifecycle(t *testing.T) {
-	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched} {
+	for _, mode := range []mailbox.Mode{mailbox.PerTuple, mailbox.Batched, mailbox.Auto} {
 		t.Run(mode.String(), func(t *testing.T) {
 			t.Parallel()
 			inj := faultinject.New(faultinject.Config{

@@ -101,6 +101,13 @@ func RunDistributed(ctx context.Context, p *plan.Plan, binding *Binding, cfg Dis
 		return nil, err
 	}
 	cfg.Config = base
+	if cfg.Mailbox == mailbox.SPSC || cfg.Mailbox == mailbox.Auto {
+		// The network read loops push decoded frames into local inboxes
+		// alongside the plan's own stations, so the plan-derived
+		// single-producer proof does not cover a partitioned deployment;
+		// every inbox runs on the MPSC batched path instead.
+		cfg.Mailbox = mailbox.Batched
+	}
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 2
 	}

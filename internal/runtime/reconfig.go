@@ -46,7 +46,10 @@ type Controller struct {
 	// stalls records the fence duration of every applied change, for the
 	// reconfiguration-stall benchmark.
 	stalls []time.Duration
-	seeds  *stats.RNG
+	// demoted accumulates the SPSC->MPSC inbox demotions of the ApplyDelta
+	// in progress (ApplyReport.Demoted); guarded by mu like the rest.
+	demoted int
+	seeds   *stats.RNG
 	// snap1/winStart bracket the current measurement window.
 	snap1    counterSnapshot
 	winStart time.Time
@@ -60,6 +63,12 @@ type ApplyReport struct {
 	// Rescaled and Unfused count the applied changes.
 	Rescaled int
 	Unfused  int
+	// Demoted counts inboxes the applied changes moved off the SPSC ring
+	// onto the batched MPSC path because the new plan makes them
+	// multi-producer (per-edge transport policies only). Demotion happens
+	// inside the change's fence with an exact drain, so no tuple is lost;
+	// rings are never promoted back mid-run.
+	Demoted int
 	// Stall is the longest pause fence any single change held: the time
 	// from the first pause request to the release of the last affected
 	// station. Unaffected stations kept running throughout.
@@ -91,8 +100,8 @@ func Start(p *plan.Plan, binding *Binding, cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		e:    e,
-		part: keypart.Greedy{},
+		e:     e,
+		part:  keypart.Greedy{},
 		seeds: stats.NewRNG(cfg.Seed + 0x1eaf),
 	}
 	e.startStations()
@@ -191,6 +200,8 @@ func (c *Controller) ApplyDelta(d *opt.DeltaPlan) (*ApplyReport, error) {
 		return nil, errors.New("runtime: controller is stopped")
 	}
 	rep := &ApplyReport{Epoch: c.e.tab().epoch}
+	c.demoted = 0
+	defer func() { rep.Demoted = c.demoted }()
 	if d == nil || d.Empty() {
 		return rep, nil
 	}
@@ -227,6 +238,9 @@ func (c *Controller) ApplyDelta(d *opt.DeltaPlan) (*ApplyReport, error) {
 	return rep, nil
 }
 
+// noteDemoted records a change's inbox demotions for the apply report.
+func (c *Controller) noteDemoted(ids []plan.StationID) { c.demoted += len(ids) }
+
 func (c *Controller) noteStall(rep *ApplyReport, stall time.Duration) {
 	if stall <= 0 {
 		return
@@ -244,10 +258,25 @@ type fence struct {
 	deadline time.Time
 	started  time.Time
 	paused   []*stationCtl
+	// pausedID remembers which stations this fence holds, so a second
+	// pause request for the same station (e.g. a demotion target that is
+	// also in the change's producer set) is detected instead of
+	// re-arming the handshake under a parked station.
+	pausedID map[plan.StationID]*stationCtl
 }
 
 func (c *Controller) newFence() *fence {
-	return &fence{c: c, deadline: time.Now().Add(c.e.cfg.ReconfigStallBudget)}
+	return &fence{
+		c:        c,
+		deadline: time.Now().Add(c.e.cfg.ReconfigStallBudget),
+		pausedID: make(map[plan.StationID]*stationCtl),
+	}
+}
+
+// holds reports whether the fence already paused the station.
+func (f *fence) holds(id plan.StationID) bool {
+	_, ok := f.pausedID[id]
+	return ok
 }
 
 // pause requests a pause (draining the inbox first when drain is set) and
@@ -256,10 +285,16 @@ func (f *fence) pause(id plan.StationID, drain bool) (*stationCtl, error) {
 	if f.started.IsZero() {
 		f.started = time.Now()
 	}
+	if ctl, ok := f.pausedID[id]; ok {
+		// Already parked under this fence; re-arming requestPause would
+		// strand the station on stale handshake channels.
+		return ctl, nil
+	}
 	ctl := f.c.e.ctl(id)
 	if ctl == nil {
 		return nil, fmt.Errorf("station %d was never spawned", id)
 	}
+	f.pausedID[id] = ctl
 	ctl.requestPause(drain)
 	f.paused = append(f.paused, ctl)
 	timer := time.NewTimer(time.Until(f.deadline))
@@ -391,11 +426,78 @@ func addStation(nt *tables, s plan.Station) plan.StationID {
 	return s.ID
 }
 
+// demoteTransports re-derives the per-inbox transports for the new epoch
+// and swaps every proven-SPSC inbox the rewritten plan makes
+// multi-producer onto the batched MPSC path, inside the change's fence.
+// The demotion target's producers are all inside the fence already: its
+// old single producer is being retired (or is paused), and any new
+// producers are added stations that have not spawned yet — so a
+// drain-pause of the target empties the ring exactly, and the swap
+// conserves every admitted tuple. It runs before finishTables so the
+// added producers' sender rows bind to the replacement mailbox; it
+// returns the demoted targets, the live pre-existing producers whose
+// sender rows must be rebuilt against the new mailbox, and the
+// retiring-masked fan-in vector finishTables sizes added inboxes with.
+// Rings are never promoted back (a rescale to degree 1 keeps the batched
+// path), which keeps every fence local to the operator being changed.
+func (c *Controller) demoteTransports(f *fence, nt *tables, retiring []plan.StationID) (demoted, rewired []plan.StationID, fanIn []int, err error) {
+	// nt.retired does not yet cover the added stations (finishTables
+	// appends their slots later); extend the mask to the rewritten plan.
+	retired := make([]bool, len(nt.p.Stations))
+	copy(retired, nt.retired)
+	for _, id := range retiring {
+		retired[id] = true
+	}
+	fanIn = liveFanIn(nt.p, retired)
+	for i := range nt.mailboxes {
+		if retired[i] || nt.mailboxes[i].Mode() != mailbox.SPSC || fanIn[i] <= 1 {
+			continue
+		}
+		target := plan.StationID(i)
+		if f.holds(target) {
+			// The target parked without draining; swapping its inbox now
+			// would strand whatever the ring still holds. No current
+			// change shape pauses a demotion target itself — refuse and
+			// leave the old epoch running rather than lose tuples.
+			return demoted, rewired, fanIn, fmt.Errorf("station %d needs a transport demotion but is already fenced", i)
+		}
+		// Fence any live pre-existing producer first (added stations have
+		// no lifecycle handle yet and cannot send before the swap), so
+		// nothing publishes into the old ring after the drain.
+		for j := range nt.p.Stations {
+			if retired[j] || c.e.ctl(plan.StationID(j)) == nil || f.holds(plan.StationID(j)) {
+				continue
+			}
+			for _, e := range nt.p.Stations[j].Out {
+				if e.To == target {
+					if _, err := f.pause(plan.StationID(j), false); err != nil {
+						return demoted, rewired, fanIn, err
+					}
+					rewired = append(rewired, plan.StationID(j))
+					break
+				}
+			}
+		}
+		if _, err := f.pause(target, true); err != nil {
+			return demoted, rewired, fanIn, err
+		}
+		m, err := newInbox(c.e.cfg, fanIn[i])
+		if err != nil {
+			return demoted, rewired, fanIn, err
+		}
+		nt.mailboxes[i] = m
+		demoted = append(demoted, target)
+	}
+	return demoted, rewired, fanIn, nil
+}
+
 // finishTables allocates the runtime state behind stations added to the
 // new epoch — mailboxes, observability cells, fault streams — and builds
 // sender rows for the added stations plus every station whose output
-// edges the change rewired.
-func (c *Controller) finishTables(nt *tables, added, rewired []plan.StationID) error {
+// edges the change rewired. fanIn is the retiring-masked producer count
+// per station (from demoteTransports), which resolves each added inbox's
+// transport under a per-edge policy.
+func (c *Controller) finishTables(nt *tables, added, rewired []plan.StationID, fanIn []int) error {
 	cfg := c.e.cfg
 	infos := make([]obs.StationInfo, len(added))
 	for i, id := range added {
@@ -410,12 +512,7 @@ func (c *Controller) finishTables(nt *tables, added, rewired []plan.StationID) e
 	}
 	cells := c.e.reg.Extend(infos)
 	for i, id := range added {
-		m, err := mailbox.New[operators.Tuple](mailbox.Config{
-			Capacity: cfg.MailboxSize,
-			Mode:     cfg.Mailbox,
-			Batch:    cfg.Batch,
-			Linger:   cfg.Linger,
-		})
+		m, err := newInbox(cfg, fanIn[id])
 		if err != nil {
 			return fmt.Errorf("station %d: %w", id, err)
 		}
@@ -585,7 +682,14 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 	nt.p.WorkersOf[op] = workers
 	rewired := retargetEdges(nt, w, emitter)
 	added := append(append([]plan.StationID{emitter}, workers...), collector)
-	if err := c.finishTables(nt, added, rewired); err != nil {
+	demoted, extraRewired, fanIn, err := c.demoteTransports(f, nt, []plan.StationID{w})
+	if err != nil {
+		f.abort()
+		return f.stall(), 0, err
+	}
+	c.noteDemoted(demoted)
+	rewired = append(rewired, extraRewired...)
+	if err := c.finishTables(nt, added, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), 0, err
 	}
@@ -654,7 +758,7 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	f := c.newFence()
 	// The emitter is the workers' only producer: pause it first (its own
 	// producers keep running against its mailbox), then drain the workers.
-	ectl, err := f.pause(entry, false)
+	_, err := f.pause(entry, false)
 	if err != nil {
 		f.abort()
 		return f.stall(), 0, err
@@ -701,7 +805,14 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	nest.KeyReplica = append([]int(nil), asg.Replica...)
 	nt.p.WorkersOf[op] = newWorkers
 	added := append([]plan.StationID(nil), newWorkers[keep:]...)
-	if err := c.finishTables(nt, added, []plan.StationID{entry}); err != nil {
+	demoted, extraRewired, fanIn, err := c.demoteTransports(f, nt, oldWorkers[keep:])
+	if err != nil {
+		f.abort()
+		return f.stall(), 0, err
+	}
+	c.noteDemoted(demoted)
+	rewired := append([]plan.StationID{entry}, extraRewired...)
+	if err := c.finishTables(nt, added, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), 0, err
 	}
@@ -751,10 +862,15 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	for r := keep; r < len(newWorkers); r++ {
 		e.spawnStation(newWorkers[r], c.seeds.Uint64(), presets[r], nil)
 	}
-	for i := range wctls {
-		wctls[i].resume(i >= keep)
+	// Release the whole fence — emitter, workers (retiring the dropped
+	// ones), and any station demoteTransports pulled in.
+	retiree := make(map[*stationCtl]bool, n-keep)
+	for i := keep; i < n; i++ {
+		retiree[wctls[i]] = true
 	}
-	ectl.resume(false)
+	for _, ctl := range f.paused {
+		ctl.resume(retiree[ctl])
+	}
 	stall := f.stall()
 	if int(op) < len(c.replicas) {
 		c.replicas[op] = m
@@ -854,7 +970,14 @@ func (c *Controller) applyUnfuse(u opt.FusionUndo) (time.Duration, error) {
 	nt.p.EntryOf[id] = front
 	nt.p.WorkersOf[id] = memberIDs
 	rewired := retargetEdges(nt, w, front)
-	if err := c.finishTables(nt, memberIDs, rewired); err != nil {
+	demoted, extraRewired, fanIn, err := c.demoteTransports(f, nt, []plan.StationID{w})
+	if err != nil {
+		f.abort()
+		return f.stall(), err
+	}
+	c.noteDemoted(demoted)
+	rewired = append(rewired, extraRewired...)
+	if err := c.finishTables(nt, memberIDs, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), err
 	}

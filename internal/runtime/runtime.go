@@ -3,9 +3,12 @@
 // (Section 4.2). Each station runs as one goroutine (an actor) with a
 // bounded mailbox (internal/mailbox); a send into a full mailbox blocks
 // the sender, which is exactly the Blocking-After-Service semantics the
-// cost models assume. The mailbox offers two transports — per-tuple
-// channel sends and pooled micro-batches — both accounting capacity in
-// tuples, so BAS holds under either. Replicated operators execute behind
+// cost models assume. The mailbox offers three transports — per-tuple
+// channel sends, pooled micro-batches, and a lock-free SPSC ring for
+// inboxes the plan's producer-set analysis proves single-producer — all
+// accounting capacity in tuples, so BAS holds under any of them (see
+// transport.go for the per-inbox selection). Replicated operators execute
+// behind
 // emitter and collector actors; fused subgraphs execute inside a single
 // meta-operator actor per Algorithm 4.
 //
@@ -79,10 +82,17 @@ type Config struct {
 	// be migrated), so PreserveOrder and Controller.ApplyDelta are
 	// mutually exclusive.
 	PreserveOrder bool
-	// Mailbox selects the dataplane transport: mailbox.PerTuple (default)
-	// sends every item as one channel operation; mailbox.Batched moves
-	// pooled micro-batches while still accounting capacity in tuples, so
-	// BAS blocking — and with it the steady-state model — is unchanged.
+	// Mailbox selects the dataplane transport policy: mailbox.PerTuple
+	// (default) sends every item as one channel operation; mailbox.Batched
+	// moves pooled micro-batches while still accounting capacity in
+	// tuples, so BAS blocking — and with it the steady-state model — is
+	// unchanged. mailbox.Auto (and mailbox.SPSC, its alias as a policy)
+	// binds each inbox per edge from the deployed plan: inboxes the
+	// producer-set analysis proves single-producer run on the lock-free
+	// SPSC ring, all others on the batched MPSC path. A live
+	// reconfiguration that turns a proven edge multi-producer demotes the
+	// inbox back to the batched path inside the same epoch fence; rings
+	// are never promoted mid-run.
 	Mailbox mailbox.Mode
 	// Batch is the micro-batch size in batched mode (default
 	// mailbox.DefaultBatch). Ignored in per-tuple mode.
@@ -381,13 +391,14 @@ func newEngine(p *plan.Plan, binding *Binding, cfg Config) (*engine, error) {
 			tb.stFaults[i] = cfg.Faults.Station(i)
 		}
 	}
+	// Transport selection is per inbox, derived from the plan: the
+	// producer-set analysis proves which inboxes have a single sending
+	// station, and those run on the lock-free SPSC ring when the policy
+	// allows it. The legacy uniform modes pass through resolveInboxMode
+	// unchanged, so a PerTuple or Batched config behaves exactly as before.
+	fanIn := liveFanIn(p, nil)
 	for i := range tb.mailboxes {
-		m, err := mailbox.New[operators.Tuple](mailbox.Config{
-			Capacity: cfg.MailboxSize,
-			Mode:     cfg.Mailbox,
-			Batch:    cfg.Batch,
-			Linger:   cfg.Linger,
-		})
+		m, err := newInbox(cfg, fanIn[i])
 		if err != nil {
 			return nil, fmt.Errorf("runtime: station %d: %w", i, err)
 		}
@@ -903,7 +914,11 @@ func (e *engine) stationEpoch(tb *tables, st *plan.Station, ctl *stationCtl, rng
 	// (the pacer never runs); skip it so raw throughput measures the
 	// transport, not the vDSO.
 	usePace := !e.cfg.NoServicePadding && !selfPaced
-	if e.cfg.Mailbox == mailbox.Batched {
+	// Every non-per-tuple policy runs the batch-draining loop: RecvBatch
+	// drains whole micro-batches from a batched inbox and whole ring runs
+	// from an SPSC inbox, and the per-edge output buffers deliver in bulk
+	// to either transport downstream.
+	if e.cfg.Mailbox != mailbox.PerTuple {
 		return e.stationEpochBatched(tb, st, ctl, rng, exec, usePace, pace, inst, minst)
 	}
 	return e.stationEpochTuple(tb, st, ctl, rng, exec, usePace, pace, inst, minst)
@@ -1067,6 +1082,17 @@ func (e *engine) stationEpochBatched(tb *tables, st *plan.Station, ctl *stationC
 	// per-tuple loop, and injected faults must observe every tuple for
 	// the schedule to stay deterministic, so both disable it.
 	forwardWhole := exec == nil && len(st.Out) == 1 && !usePace && fl == nil
+	// The sink analogue: an unbound pass-through sink just counts the
+	// batch out of the system — one Consumed/Emitted add per batch
+	// instead of a per-tuple exec loop. OnSink callbacks, pacing, and
+	// fault schedules all need to see individual tuples, so any of them
+	// disables it.
+	sinkWhole := exec == nil && sink && !usePace && fl == nil && e.cfg.OnSink == nil
+	// A whole-batch station on a proven ring skips the copy-out entirely
+	// and works on the ring slots in place.
+	if ringWhole(tb, st, sinkWhole, forwardWhole) {
+		return e.stationEpochRing(tb, st, ctl, sink, inst, minst)
+	}
 	if exec == nil {
 		exec = forward
 	}
@@ -1098,6 +1124,14 @@ func (e *engine) stationEpochBatched(tb *tables, st *plan.Station, ctl *stationC
 		}
 		if pr != nil {
 			pr.onReceive(len(batch))
+		}
+		if sinkWhole {
+			n := uint64(len(batch))
+			tb.st[st.ID].Consumed.Add(n)
+			tb.st[st.ID].Emitted.Add(n)
+			pr.onEmit(len(batch))
+			inbox.Recycle(batch)
+			continue
 		}
 		if forwardWhole {
 			for i := range batch {
@@ -1198,7 +1232,17 @@ func (e *engine) runSource(tb *tables, st *plan.Station, ctl *stationCtl, rng *s
 	rr := 0
 	pace := newPacer(st.ServiceTime)
 	usePace := !e.cfg.NoServicePadding
-	if e.cfg.Mailbox == mailbox.Batched {
+	if e.cfg.Mailbox != mailbox.PerTuple {
+		// Unpadded sources feeding a proven single-producer ring generate
+		// straight into reserved ring slots (padding needs the per-tuple
+		// pacer, so it keeps the staging loop). Re-checked every segment:
+		// a reconfiguration that demotes the ring re-dispatches here.
+		if !usePace {
+			if ring := e.sourceRing(tb, st); ring != nil {
+				e.runSourceRing(tb, st, ctl, ring)
+				return
+			}
+		}
 		e.runSourceBatched(tb, st, ctl, rng, usePace, pace)
 		return
 	}

@@ -103,6 +103,18 @@ func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
 // Sample draws one value in [0, n).
 func (z *Zipf) Sample() int {
 	u := z.rng.Float64()
+	// Small key domains (the common testbed case) sit on the dataplane's
+	// per-tuple hot path: a branch-per-entry scan beats the search
+	// closure's call overhead there. Both forms return the smallest i
+	// with cdf[i] >= u, so the sampled stream is identical.
+	if len(z.cdf) <= 32 {
+		for i, c := range z.cdf {
+			if c >= u {
+				return i
+			}
+		}
+		return len(z.cdf) - 1
+	}
 	return sort.SearchFloat64s(z.cdf, u)
 }
 
