@@ -347,3 +347,73 @@ func TestCLIRunAutotuneEstimator(t *testing.T) {
 		t.Errorf("run output missing the autotune summary:\n%s", out)
 	}
 }
+
+// writeChainTopology writes src -> mid -> sink with a stateless mid of
+// the given service time, for vet tests that need controllable load.
+func writeChainTopology(t *testing.T, midService float64) string {
+	t.Helper()
+	topo := core.NewTopology()
+	src := topo.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1e-3})
+	mid := topo.MustAddOperator(core.Operator{Name: "mid", Kind: core.KindStateless, ServiceTime: midService})
+	sink := topo.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 1e-4})
+	topo.MustConnect(src, mid, 1)
+	topo.MustConnect(mid, sink, 1)
+	path := filepath.Join(t.TempDir(), "chain.xml")
+	if err := xmlio.WriteFile(path, "chain", topo); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIVetZeroReplicasNormalized(t *testing.T) {
+	// Degree 0 means "not deployed yet"; vet normalizes it to 1 instead of
+	// rejecting the vector or dividing by zero in the cost model.
+	out, err := capture(t, "vet", "-in", writeChainTopology(t, 1e-4), "-replicas", "0,0,0")
+	if err != nil {
+		t.Fatalf("zero replica degrees must vet clean, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(out, "0 error(s)") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+func TestCLIVetBudgetOverflowIsWarningOnly(t *testing.T) {
+	// Exceeding the budget is advice (SS1006), not a gate: the exit code
+	// stays zero so CI can surface it without failing the build.
+	out, err := capture(t, "vet", "-in", writeChainTopology(t, 1e-4),
+		"-replicas", "1,6,1", "-replica-budget", "4")
+	if err != nil {
+		t.Fatalf("warnings-only report must exit zero, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(out, "SS1006 warning") {
+		t.Errorf("missing SS1006 over-budget warning:\n%s", out)
+	}
+}
+
+func TestCLIVetMisalignedReplicasIsError(t *testing.T) {
+	out, err := capture(t, "vet", "-in", writeChainTopology(t, 1e-4), "-replicas", "1,2")
+	if err == nil {
+		t.Fatalf("misaligned replica vector must exit non-zero:\n%s", out)
+	}
+	if !strings.Contains(out, "SS1000") {
+		t.Errorf("missing SS1000 diagnostic:\n%s", out)
+	}
+}
+
+func TestCLIVetBurstFlags(t *testing.T) {
+	// rho 0.8 chain under a 2x/1s burst: SS3002 fires as a warning (exit
+	// zero), and sizing the mailbox per the suggestion silences it.
+	in := writeChainTopology(t, 8e-4)
+	out, err := capture(t, "vet", "-in", in, "-burst-factor", "2", "-burst-seconds", "1")
+	if err != nil {
+		t.Fatalf("burst warning must not gate, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(out, "SS3002 warning") {
+		t.Errorf("missing SS3002 burst warning:\n%s", out)
+	}
+	out, err = capture(t, "vet", "-in", in,
+		"-burst-factor", "2", "-burst-seconds", "1", "-mailbox-size", "750")
+	if err != nil || strings.Contains(out, "SS3002") {
+		t.Errorf("sized-up mailbox still flagged (%v):\n%s", err, out)
+	}
+}

@@ -25,6 +25,9 @@ func cmdVet(args []string) error {
 	replicas := fs.String("replicas", "", "comma-separated deployed replication degrees, one per operator in document order (enables the replica and transport-demotion checks)")
 	allowCycles := fs.Bool("allow-cycles", false, "accept feedback edges and analyze them with the fixed-point solver")
 	tracePath := fs.String("trace", "", "rewrite trace JSON to replay against the topology")
+	mailboxSize := fs.Int("mailbox-size", 0, "bounded mailbox capacity assumed by the back-pressure checks (0 = runtime default)")
+	burstFactor := fs.Float64("burst-factor", 0, "arrival-rate multiplier for the SPSC burst-capacity check (0 = skip)")
+	burstSeconds := fs.Float64("burst-seconds", 0, "burst duration every SPSC ring must absorb without filling (0 = skip)")
 	format := fs.String("format", "text", "output format: text, json, or sarif")
 	out := fs.String("o", "", "write the report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -35,10 +38,13 @@ func cmdVet(args []string) error {
 	}
 
 	opts := vetOptions{
-		members:     *members,
-		budget:      *budget,
-		allowCycles: *allowCycles,
-		tracePath:   *tracePath,
+		members:      *members,
+		budget:       *budget,
+		allowCycles:  *allowCycles,
+		tracePath:    *tracePath,
+		mailboxSize:  *mailboxSize,
+		burstFactor:  *burstFactor,
+		burstSeconds: *burstSeconds,
 	}
 	if *replicas != "" {
 		for _, field := range strings.Split(*replicas, ",") {
@@ -90,11 +96,14 @@ func cmdVet(args []string) error {
 }
 
 type vetOptions struct {
-	members     string
-	budget      int
-	replicas    []int
-	allowCycles bool
-	tracePath   string
+	members      string
+	budget       int
+	replicas     []int
+	allowCycles  bool
+	tracePath    string
+	mailboxSize  int
+	burstFactor  float64
+	burstSeconds float64
 }
 
 // vetFile runs the document-level verifier on path with positioned
@@ -114,9 +123,12 @@ func vetFile(path string, o vetOptions) (*lint.Report, error) {
 		KeyLoader: func(ref string) ([]float64, error) {
 			return xmlio.LoadKeyFile(filepath.Join(filepath.Dir(path), ref))
 		},
-		Replicas:      o.replicas,
-		ReplicaBudget: o.budget,
-		AllowCycles:   o.allowCycles,
+		Replicas:        o.replicas,
+		ReplicaBudget:   o.budget,
+		AllowCycles:     o.allowCycles,
+		MailboxCapacity: o.mailboxSize,
+		BurstFactor:     o.burstFactor,
+		BurstSeconds:    o.burstSeconds,
 	}
 	if o.members != "" {
 		for _, m := range strings.Split(o.members, ",") {

@@ -156,14 +156,61 @@ func run(cfgPath string) error {
 	}
 
 	pass := &analyzers.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
-	found := false
+	type finding struct {
+		analyzer *analyzers.Analyzer
+		d        analyzers.Diagnostic
+	}
+	var finds []finding
 	for _, a := range analyzers.All {
 		for _, d := range a.Run(pass) {
-			found = true
+			finds = append(finds, finding{a, d})
 			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 		}
 	}
-	if found {
+	// SSVET_SARIF_DIR collects findings as one SARIF log per flagged
+	// package (the go command runs one ssvet process per package, so a
+	// shared file would race); CI uploads the directory as an artifact.
+	if dir := os.Getenv("SSVET_SARIF_DIR"); dir != "" && len(finds) > 0 {
+		rules := make([]map[string]any, len(analyzers.All))
+		for i, a := range analyzers.All {
+			rules[i] = map[string]any{
+				"id":               a.Name,
+				"shortDescription": map[string]any{"text": a.Doc},
+			}
+		}
+		results := make([]map[string]any, len(finds))
+		for i, f := range finds {
+			pos := fset.Position(f.d.Pos)
+			results[i] = map[string]any{
+				"ruleId":  f.analyzer.Name,
+				"level":   "error",
+				"message": map[string]any{"text": f.d.Message},
+				"locations": []map[string]any{{
+					"physicalLocation": map[string]any{
+						"artifactLocation": map[string]any{"uri": pos.Filename},
+						"region":           map[string]any{"startLine": pos.Line, "startColumn": pos.Column},
+					},
+				}},
+			}
+		}
+		doc := map[string]any{
+			"version": "2.1.0",
+			"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+			"runs": []map[string]any{{
+				"tool":    map[string]any{"driver": map[string]any{"name": "ssvet", "rules": rules}},
+				"results": results,
+			}},
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		name := strings.ReplaceAll(cfg.ImportPath, "/", "-") + ".sarif"
+		if err := os.WriteFile(dir+string(os.PathSeparator)+name, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if len(finds) > 0 {
 		os.Exit(1)
 	}
 	return nil

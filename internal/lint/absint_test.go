@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"spinstreams/internal/core"
+	"spinstreams/internal/xmlio"
+)
+
+// loop builds the retry shape src -> work -> {sink, retry} with retry
+// feeding back into work.
+func loop(t *testing.T, workService, retryProb float64) *core.Topology {
+	t.Helper()
+	top := core.NewTopology()
+	src := top.MustAddOperator(core.Operator{Name: "src", Kind: core.KindSource, ServiceTime: 1e-3})
+	work := top.MustAddOperator(core.Operator{Name: "work", Kind: core.KindStateless, ServiceTime: workService})
+	retry := top.MustAddOperator(core.Operator{Name: "retry", Kind: core.KindStateless, ServiceTime: 1e-4})
+	sink := top.MustAddOperator(core.Operator{Name: "sink", Kind: core.KindSink, ServiceTime: 1e-4})
+	top.MustConnect(src, work, 1)
+	top.MustConnect(work, sink, 1-retryProb)
+	top.MustConnect(work, retry, retryProb)
+	top.MustConnect(retry, work, 1)
+	return top
+}
+
+func codesOf(rep *Report) []string {
+	var codes []string
+	for _, d := range rep.Diagnostics {
+		codes = append(codes, d.Code)
+	}
+	return codes
+}
+
+func TestVerifyPlanNoopWithoutCycleOrBurst(t *testing.T) {
+	rep := VerifyPlan(chain(t, core.KindStateless, 1e-4), Config{})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("acyclic plan with no burst envelope must verify silently, got %v", rep.Diagnostics)
+	}
+}
+
+func TestVerifyPlanBurstOverflow(t *testing.T) {
+	// mid runs at rho 0.8: fine in steady state, but a 2x burst arrives at
+	// 2000/s against 1250/s service — the default 64-slot ring fills in
+	// 64/750 s, far inside the declared 1 s envelope.
+	top := chain(t, core.KindStateless, 8e-4)
+	rep := VerifyPlan(top, Config{BurstFactor: 2, BurstSeconds: 1})
+	if codes := codesOf(rep); len(codes) != 1 || codes[0] != CodeBurstCapacity {
+		t.Fatalf("want one SS3002, got %v", rep.Diagnostics)
+	}
+	if msg := rep.Diagnostics[0].Message; !strings.Contains(msg, "mid") || !strings.Contains(msg, ">= 750") {
+		t.Errorf("SS3002 should name the station and the required capacity: %s", msg)
+	}
+
+	// The suggested capacity is exactly the fix.
+	rep = VerifyPlan(top, Config{BurstFactor: 2, BurstSeconds: 1, MailboxCapacity: 750})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("sized-up mailbox still flagged: %v", rep.Diagnostics)
+	}
+}
+
+func TestVerifyPlanBurstCleanWhenHeadroom(t *testing.T) {
+	// mid at rho 0.2 absorbs a 2x burst without queueing at all.
+	rep := VerifyPlan(chain(t, core.KindStateless, 2e-4), Config{BurstFactor: 2, BurstSeconds: 1})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("burst within service headroom flagged: %v", rep.Diagnostics)
+	}
+}
+
+func TestBlockingCycleOnOverloadedLoop(t *testing.T) {
+	// work demands 1000/(1-0.3) ~= 1429/s against 500/s of service: the
+	// loop's mailbox pins at capacity and SS3001 must fire.
+	rep := VerifyPlan(loop(t, 2e-3, 0.3), Config{AllowCycles: true})
+	if codes := codesOf(rep); len(codes) != 1 || codes[0] != CodeBlockingCycle {
+		t.Fatalf("want one SS3001, got %v", rep.Diagnostics)
+	}
+	if msg := rep.Diagnostics[0].Message; !strings.Contains(msg, "work -> retry") {
+		t.Errorf("SS3001 should name the loop members: %s", msg)
+	}
+}
+
+func TestBlockingCycleCleanOnHealthyLoop(t *testing.T) {
+	// Same shape at rho ~0.71: the fixpoint leaves slack in every loop
+	// mailbox, so the bounded-queue interpretation stays quiet.
+	rep := VerifyPlan(loop(t, 5e-4, 0.3), Config{AllowCycles: true})
+	if len(rep.Diagnostics) != 0 {
+		t.Fatalf("healthy feedback loop flagged: %v", rep.Diagnostics)
+	}
+}
+
+func TestBlockingCycleSuppressedByDivergence(t *testing.T) {
+	// A divergent loop already wedges in the fluid model (SS1101); the
+	// bounded-queue restatement must stay out of the report.
+	top, err := xmlio.ReadFile("../../testdata/lint/SS1101-divergent-loop.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(top, Config{AllowCycles: true})
+	codes := codesOf(rep)
+	sawDivergent := false
+	for _, c := range codes {
+		if c == CodeNonConvergent {
+			sawDivergent = true
+		}
+		if c == CodeBlockingCycle {
+			t.Fatalf("SS3001 restates SS1101: %v", rep.Diagnostics)
+		}
+	}
+	if !sawDivergent {
+		t.Fatalf("corpus divergent loop no longer yields SS1101: %v", rep.Diagnostics)
+	}
+}
+
+// traceFor builds a minimal consistent rewrite trace for top with the
+// given per-station transport verdicts.
+func traceFor(t *testing.T, top *core.Topology, stations []map[string]any) []byte {
+	t.Helper()
+	fp := fmt.Sprintf("%016x", top.Fingerprint())
+	doc := map[string]any{
+		"schema":            "spinstreams/rewrite-trace/v1",
+		"fingerprint":       fp,
+		"operators":         top.Len(),
+		"edges":             top.NumEdges(),
+		"passes":            []any{},
+		"final_fingerprint": fp,
+		"transports": map[string]any{
+			"replicas": []int{1, 1, 1},
+			"stations": stations,
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func ss3003Of(rep *Report) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range rep.Diagnostics {
+		if d.Code == CodeTransportVerdict {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestTransportVerdictInternalInconsistency(t *testing.T) {
+	top := chain(t, core.KindStateless, 1e-4)
+	trace := traceFor(t, top, []map[string]any{
+		{"station": "src", "producers": 0, "transport": "spsc"},
+		{"station": "mid", "producers": 2, "transport": "spsc"},
+		{"station": "sink", "producers": 1, "transport": "spsc"},
+	})
+	rep := Run(top, Config{Trace: trace})
+	ds := ss3003Of(rep)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "derives mpsc") {
+		t.Fatalf("want one SS3003 for the 2-producer spsc verdict, got %v", rep.Diagnostics)
+	}
+}
+
+func TestTransportVerdictStaleAgainstDeployment(t *testing.T) {
+	top := chain(t, core.KindStateless, 1e-4)
+	trace := traceFor(t, top, []map[string]any{
+		{"station": "src", "producers": 0, "transport": "spsc"},
+		{"station": "mid", "producers": 1, "transport": "spsc"},
+		{"station": "sink", "producers": 1, "transport": "spsc"},
+	})
+	// The trace is internally consistent, but deploying mid with three
+	// replicas restructures the plan: the station the verdict names is
+	// gone (or multi-producer), so binding the recorded ring would break
+	// the single-producer proof.
+	rep := Run(top, Config{Trace: trace, Replicas: []int{1, 3, 1}})
+	ds := ss3003Of(rep)
+	if len(ds) == 0 {
+		t.Fatalf("deployed replication invalidates the spsc verdict, want SS3003: %v", rep.Diagnostics)
+	}
+	for _, d := range ds {
+		if d.Severity != SeverityError {
+			t.Errorf("SS3003 must be error severity, got %s", d.Severity)
+		}
+	}
+
+	// Matching deployment: no verdict drift.
+	rep = Run(top, Config{Trace: trace})
+	if ds := ss3003Of(rep); len(ds) != 0 {
+		t.Fatalf("consistent trace and deployment flagged: %v", ds)
+	}
+}
+
+func TestTransportVerdictSkipsRewrittenTrace(t *testing.T) {
+	top := chain(t, core.KindStateless, 1e-4)
+	trace := traceFor(t, top, []map[string]any{
+		{"station": "fused", "producers": 1, "transport": "spsc"},
+	})
+	// Mark the trace as a net rewrite: the deployed re-derivation keys on
+	// input-aligned replica indices, which no longer describe the final
+	// topology, so the check must stand down (SS2001 owns that replay).
+	var doc map[string]any
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["final_fingerprint"] = "ffffffffffffffff"
+	rewritten, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(top, Config{Trace: rewritten, Replicas: []int{1, 3, 1}})
+	if ds := ss3003Of(rep); len(ds) != 0 {
+		t.Fatalf("rewritten trace must skip the deployed re-derivation, got %v", ds)
+	}
+}

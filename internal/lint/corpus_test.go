@@ -21,11 +21,14 @@ var update = flag.Bool("update", false, "rewrite corpus goldens")
 const corpusDir = "../../testdata/lint"
 
 type corpusConfig struct {
-	AllowCycles   bool     `json:"allow_cycles"`
-	FuseMembers   []string `json:"fuse_members"`
-	Replicas      []int    `json:"replicas"`
-	ReplicaBudget int      `json:"replica_budget"`
-	Drift         *struct {
+	AllowCycles     bool     `json:"allow_cycles"`
+	FuseMembers     []string `json:"fuse_members"`
+	Replicas        []int    `json:"replicas"`
+	ReplicaBudget   int      `json:"replica_budget"`
+	MailboxCapacity int      `json:"mailbox_capacity"`
+	BurstFactor     float64  `json:"burst_factor"`
+	BurstSeconds    float64  `json:"burst_seconds"`
+	Drift           *struct {
 		Stations []string `json:"stations"`
 		Replicas []int    `json:"replicas"`
 		Profiles int      `json:"profiles"`
@@ -52,11 +55,14 @@ func TestCorpus(t *testing.T) {
 				}
 			}
 			cfg := Config{
-				File:          name,
-				FuseMembers:   cc.FuseMembers,
-				Replicas:      cc.Replicas,
-				ReplicaBudget: cc.ReplicaBudget,
-				AllowCycles:   cc.AllowCycles,
+				File:            name,
+				FuseMembers:     cc.FuseMembers,
+				Replicas:        cc.Replicas,
+				ReplicaBudget:   cc.ReplicaBudget,
+				AllowCycles:     cc.AllowCycles,
+				MailboxCapacity: cc.MailboxCapacity,
+				BurstFactor:     cc.BurstFactor,
+				BurstSeconds:    cc.BurstSeconds,
 			}
 			if trace, err := os.ReadFile(base + ".trace.json"); err == nil {
 				cfg.Trace = trace
@@ -113,8 +119,11 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
-// TestCorpusCoversAllCodes pins the append-only contract: every diagnostic
-// code in the rule table has a known-bad corpus entry.
+// TestCorpusCoversAllCodes pins the append-only contract in both
+// directions: every diagnostic code in the rule table has a known-bad
+// corpus entry, and every corpus entry names a registered code — an
+// entry for an unregistered code means someone added a diagnostic
+// without a Rules row (no SARIF metadata, no docs) and must fail CI.
 func TestCorpusCoversAllCodes(t *testing.T) {
 	entries, err := os.ReadDir(corpusDir)
 	if err != nil {
@@ -129,6 +138,11 @@ func TestCorpusCoversAllCodes(t *testing.T) {
 	for _, r := range Rules {
 		if !covered[r.Code] {
 			t.Errorf("diagnostic code %s (%s) has no corpus entry", r.Code, r.Name)
+		}
+	}
+	for code := range covered {
+		if RuleFor(code).Name == "unknown" {
+			t.Errorf("corpus entry for %s names a code missing from the Rules table", code)
 		}
 	}
 }

@@ -122,6 +122,19 @@ const (
 	// CodeDriftMismatch (SS2002): a drift report whose station set no
 	// longer matches the deployed topology.
 	CodeDriftMismatch = "SS2002"
+	// CodeBlockingCycle (SS3001): the bounded-queue abstract interpreter
+	// found a blocking cycle — a feedback loop whose stations wedge each
+	// other through full mailboxes under BAS back-pressure, even though
+	// the fluid solver converges.
+	CodeBlockingCycle = "SS3001"
+	// CodeBurstCapacity (SS3002): an SPSC ring whose capacity cannot
+	// absorb the declared burst envelope before back-pressure reaches the
+	// source.
+	CodeBurstCapacity = "SS3002"
+	// CodeTransportVerdict (SS3003): a trace-recorded SPSC transport
+	// verdict that is not re-derivable from the fan-in sets of the plan
+	// actually deployed.
+	CodeTransportVerdict = "SS3003"
 )
 
 // Rule is the metadata of one diagnostic code.
@@ -134,25 +147,49 @@ type Rule struct {
 	Severity Severity `json:"severity"`
 	// Summary is a one-line description.
 	Summary string `json:"summary"`
+	// Doc is the longer rule description rendered as the SARIF
+	// fullDescription, explaining what the rule proves and how to fix a
+	// finding.
+	Doc string `json:"doc,omitempty"`
 }
 
 // Rules lists every diagnostic code, in code order. The table drives the
 // SARIF rule metadata and the DESIGN.md documentation.
 var Rules = []Rule{
-	{CodeMalformed, "malformed-topology", SeverityError, "graph shape violates the rooted-flow-graph model (Section 3.1)"},
-	{CodeProbabilityMass, "probability-mass", SeverityError, "routing probabilities outside (0, 1] or not summing to 1"},
-	{CodeUnreachable, "unreachable-operator", SeverityError, "operator not reachable from the source"},
-	{CodeFusionCandidate, "cycle-in-fusion-candidate", SeverityError, "fusion candidate violates the Section 3.3 preconditions"},
-	{CodeStatefulFission, "stateful-fission-unsafe", SeverityError, "replication requested for a non-replicable operator kind"},
-	{CodeSelectivityRange, "selectivity-range", SeverityError, "selectivity is NaN, infinite, or negative"},
-	{CodeReplicaBudget, "replica-budget-exceeded", SeverityWarning, "replication degrees exceed the budget or the key-domain size"},
-	{CodeKeyMass, "key-frequency-mass", SeverityError, "key frequencies missing, non-positive, or not summing to 1"},
-	{CodeServiceTime, "service-time-range", SeverityError, "service time is NaN, infinite, or not positive"},
-	{CodeSPSCDemoted, "spsc-demoted-by-replication", SeverityInfo, "single-producer edge demoted to the MPSC path by the deployed replication"},
-	{CodeNonConvergent, "solver-non-convergent", SeverityError, "steady-state analysis does not converge"},
-	{CodeSaturatedNoRemedy, "saturated-no-remedy", SeverityWarning, "saturated operator that fission cannot unblock"},
-	{CodeTraceReplay, "trace-replay-mismatch", SeverityError, "rewrite trace does not replay against the input topology"},
-	{CodeDriftMismatch, "drift-station-mismatch", SeverityError, "drift report station set no longer matches the topology"},
+	{CodeMalformed, "malformed-topology", SeverityError, "graph shape violates the rooted-flow-graph model (Section 3.1)",
+		"The topology must be a rooted flow graph: exactly one source, no duplicate or unknown operators, operator kinds consistent with their position, no self-loops, and no cycles unless -allow-cycles is set."},
+	{CodeProbabilityMass, "probability-mass", SeverityError, "routing probabilities outside (0, 1] or not summing to 1",
+		"Each edge probability must lie in (0, 1] and the outgoing probabilities of every operator must sum to 1, so the routing matrix conserves tuple mass."},
+	{CodeUnreachable, "unreachable-operator", SeverityError, "operator not reachable from the source",
+		"Every operator must be reachable from the source along forward edges; unreachable operators would idle forever and usually indicate a mis-wired edge."},
+	{CodeFusionCandidate, "cycle-in-fusion-candidate", SeverityError, "fusion candidate violates the Section 3.3 preconditions",
+		"A fusion candidate must have a single front-end operator and its contraction must leave the surrounding graph acyclic (Section 3.3); otherwise fusing would create a scheduling cycle."},
+	{CodeStatefulFission, "stateful-fission-unsafe", SeverityError, "replication requested for a non-replicable operator kind",
+		"Replication degrees above 1 are only sound for stateless and partitioned-stateful operators; plain stateful operators and sinks cannot be fissioned without breaking state semantics."},
+	{CodeSelectivityRange, "selectivity-range", SeverityError, "selectivity is NaN, infinite, or negative",
+		"Operator selectivity scales downstream traffic in the cost model and must be a finite non-negative number."},
+	{CodeReplicaBudget, "replica-budget-exceeded", SeverityWarning, "replication degrees exceed the budget or the key-domain size",
+		"The requested replication degrees exceed the deployment's worker budget or the key-domain size of a partitioned-stateful operator; the deployment will be silently capped."},
+	{CodeKeyMass, "key-frequency-mass", SeverityError, "key frequencies missing, non-positive, or not summing to 1",
+		"Partitioned-stateful operators need a key-frequency distribution with positive entries summing to 1 so the balanced-partition analysis (Algorithm 2) is well-defined."},
+	{CodeServiceTime, "service-time-range", SeverityError, "service time is NaN, infinite, or not positive",
+		"Service times feed the queueing model as rates (1/T) and must be finite positive durations."},
+	{CodeSPSCDemoted, "spsc-demoted-by-replication", SeverityInfo, "single-producer edge demoted to the MPSC path by the deployed replication",
+		"This edge has a single producer at replication degree 1 and would bind to the lock-free SPSC ring, but the deployed replication degrees give it multiple producers, demoting it to the batched MPSC path."},
+	{CodeNonConvergent, "solver-non-convergent", SeverityError, "steady-state analysis does not converge",
+		"The gain-weighted traffic around a feedback loop is >= 1, so arrival rates diverge and no steady state exists; reduce the loop gain or selectivities."},
+	{CodeSaturatedNoRemedy, "saturated-no-remedy", SeverityWarning, "saturated operator that fission cannot unblock",
+		"An operator is saturated (utilization >= 1) and fission cannot help: it is stateful or a sink, or its most frequent key alone saturates one replica of a partitioned-stateful operator."},
+	{CodeTraceReplay, "trace-replay-mismatch", SeverityError, "rewrite trace does not replay against the input topology",
+		"The spinstreams/rewrite-trace/v1 passes no longer replay cleanly against this topology (fingerprint or structural mismatch); the trace was produced from a different input and must be regenerated."},
+	{CodeDriftMismatch, "drift-station-mismatch", SeverityError, "drift report station set no longer matches the topology",
+		"The drift report references stations that do not exist in the deployed topology, so re-optimization from it would mis-attribute measured rates."},
+	{CodeBlockingCycle, "blocking-cycle", SeverityError, "bounded-queue interpretation finds a back-pressure deadlock cycle",
+		"Abstract interpretation of the plan under bounded mailboxes (BAS blocking semantics) reaches a state where the stations of a feedback loop all wait on full downstream queues owned by the same loop. The fluid solver converges, but the deployment wedges: any saturated station inside a cycle eventually propagates blocking all the way around. Break the loop, speed up the saturated station, or enlarge -mailbox-size."},
+	{CodeBurstCapacity, "spsc-burst-capacity", SeverityWarning, "SPSC ring capacity cannot absorb the declared burst envelope",
+		"Under the declared burst envelope (-burst-factor for -burst-seconds), the excess arrival rate at this single-producer ring fills its capacity before the burst ends, so back-pressure reaches the producer mid-burst. Size the mailbox to at least excess-rate x burst-seconds or accept BAS throttling during bursts."},
+	{CodeTransportVerdict, "stale-transport-verdict", SeverityError, "recorded SPSC transport verdict not re-derivable from the deployed plan",
+		"The optimizer trace records an SPSC (single-producer) verdict for this station's inbox, but re-deriving the fan-in sets from the plan as actually deployed (replication degrees included) contradicts it. Binding a ring here would violate the single-producer proof; regenerate the trace against the deployed configuration."},
 }
 
 // RuleFor returns the metadata of code; unknown codes get an error-level
@@ -292,6 +329,15 @@ type Config struct {
 	// AllowCycles accepts feedback edges and analyzes them with the
 	// fixed-point solver, mirroring opt.Options.AllowCycles.
 	AllowCycles bool
+	// MailboxCapacity is the bounded mailbox size the SS3xxx abstract
+	// interpretation assumes; 0 means the runtime default (64).
+	MailboxCapacity int
+	// BurstFactor and BurstSeconds declare the burst envelope for the
+	// SPSC capacity-feasibility check (SS3002): the source emits at
+	// BurstFactor x its declared rate for BurstSeconds. SS3002 only runs
+	// when BurstFactor > 1 and BurstSeconds > 0.
+	BurstFactor  float64
+	BurstSeconds float64
 	// Trace, when non-nil, is a spinstreams/rewrite-trace/v1 JSON to
 	// replay against the topology (SS2001).
 	Trace []byte
@@ -349,7 +395,9 @@ func extras(rep *Report, t *core.Topology, cfg Config) {
 	checkFusionCandidate(rep, t, cfg)
 	checkTransports(rep, t, cfg)
 	costModel(rep, t, cfg)
+	planChecks(rep, t, cfg)
 	if cfg.Trace != nil {
 		replayTrace(rep, t, cfg)
+		checkTransportVerdicts(rep, t, cfg)
 	}
 }

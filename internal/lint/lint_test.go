@@ -214,3 +214,49 @@ func TestErrorRendering(t *testing.T) {
 		t.Errorf("multi-diagnostic error: %q", two.Error())
 	}
 }
+
+// TestSARIFRuleMetadata pins the per-rule documentation contract: every
+// registered code ships a Doc paragraph, and the SARIF rule table carries
+// it as fullDescription with a helpUri — code-scanning UIs link findings
+// straight to the rationale.
+func TestSARIFRuleMetadata(t *testing.T) {
+	for _, r := range Rules {
+		if r.Doc == "" {
+			t.Errorf("rule %s (%s) has no Doc", r.Code, r.Name)
+		}
+	}
+	sarif, err := (&Report{}).SARIF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID              string `json:"id"`
+						FullDescription *struct {
+							Text string `json:"text"`
+						} `json:"fullDescription"`
+						HelpURI string `json:"helpUri"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(sarif, &log); err != nil {
+		t.Fatal(err)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != len(Rules) {
+		t.Fatalf("SARIF rules %d, want %d", len(rules), len(Rules))
+	}
+	for _, r := range rules {
+		if r.FullDescription == nil || r.FullDescription.Text == "" {
+			t.Errorf("rule %s missing fullDescription", r.ID)
+		}
+		if !strings.Contains(r.HelpURI, strings.ToLower(r.ID)) {
+			t.Errorf("rule %s helpUri %q does not key on the code", r.ID, r.HelpURI)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Text writes the report in the one-line-per-diagnostic form, closing
@@ -55,13 +56,19 @@ type sarifText struct {
 }
 
 type sarifRule struct {
-	ID                   string    `json:"id"`
-	Name                 string    `json:"name"`
-	ShortDescription     sarifText `json:"shortDescription"`
+	ID                   string     `json:"id"`
+	Name                 string     `json:"name"`
+	ShortDescription     sarifText  `json:"shortDescription"`
+	FullDescription      *sarifText `json:"fullDescription,omitempty"`
+	HelpURI              string     `json:"helpUri,omitempty"`
 	DefaultConfiguration struct {
 		Level string `json:"level"`
 	} `json:"defaultConfiguration"`
 }
+
+// sarifHelpBase anchors every rule's helpUri at the repository's lint
+// documentation, one fragment per code.
+const sarifHelpBase = "https://github.com/spinstreams/spinstreams/blob/main/DESIGN.md#lint-"
 
 type sarifLocation struct {
 	PhysicalLocation struct {
@@ -91,6 +98,10 @@ func (r *Report) SARIF() ([]byte, error) {
 		rules[i].ID = rule.Code
 		rules[i].Name = rule.Name
 		rules[i].ShortDescription.Text = rule.Summary
+		if rule.Doc != "" {
+			rules[i].FullDescription = &sarifText{Text: rule.Doc}
+		}
+		rules[i].HelpURI = sarifHelpBase + strings.ToLower(rule.Code)
 		rules[i].DefaultConfiguration.Level = sarifLevel(rule.Severity)
 	}
 	results := make([]sarifResult, 0, len(r.Diagnostics))

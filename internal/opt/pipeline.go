@@ -29,6 +29,13 @@ type Options struct {
 	// AllowCycles analyzes cyclic topologies with the fixed-point solver
 	// instead of failing; the restructuring passes skip them.
 	AllowCycles bool
+	// MailboxCapacity, BurstFactor and BurstSeconds tune the bounded-queue
+	// verification post-pass (SS3001/SS3002) over the optimized plan. A
+	// zero capacity assumes the runtime default; the burst check is
+	// skipped unless both burst knobs are set.
+	MailboxCapacity int
+	BurstFactor     float64
+	BurstSeconds    float64
 }
 
 // Result is everything one pipeline run produced.
@@ -140,6 +147,24 @@ func (p *Pipeline) Run(t *core.Topology) (*Result, error) {
 	if err := ctx.ensureFinal(cur); err != nil {
 		return nil, err
 	}
+	// Mandatory verification post-pass: bounded-queue interpretation of
+	// the *optimized* plan under its deployed replica degrees
+	// (SS3001/SS3002). The pre-pass vets the topology the user wrote;
+	// this vets the one the pipeline is about to ship — restructuring
+	// changes the plan the back-pressure argument runs over. Errors
+	// abort the run; warnings attach to the trace with the pre-pass
+	// findings.
+	post := lint.VerifyPlan(cur.Topology(), lint.Config{
+		AllowCycles:     p.Opts.AllowCycles,
+		Replicas:        ctx.Result.replicas,
+		MailboxCapacity: p.Opts.MailboxCapacity,
+		BurstFactor:     p.Opts.BurstFactor,
+		BurstSeconds:    p.Opts.BurstSeconds,
+	})
+	if err := post.Err(); err != nil {
+		return nil, fmt.Errorf("opt: verify optimized plan: %w", err)
+	}
+	ctx.Trace.Lint = append(ctx.Trace.Lint, post.Diagnostics...)
 	ctx.Result.Final = cur
 	ctx.Result.CacheStats = ctx.Cache.Stats()
 	ctx.Trace.ThroughputAfter = ctx.Result.Analysis.Throughput()

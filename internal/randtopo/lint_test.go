@@ -2,6 +2,8 @@ package randtopo
 
 import (
 	"math"
+	"os"
+	"strconv"
 	"testing"
 
 	"spinstreams/internal/lint"
@@ -10,17 +12,36 @@ import (
 // TestGeneratedTopologiesLintClean is the generator's contract with the
 // vet layer: every seed must produce a topology that passes lint with
 // zero errors (warnings are allowed — the testbed intentionally starts
-// bottlenecked, so SS1102 may fire).
+// bottlenecked, so SS1102 may fire, and under the declared burst
+// envelope SS3002 may warn about ring sizing). The run includes the
+// SS3xxx plan-level checks, both through the full lint entry point and
+// through the optimizer's VerifyPlan post-pass, so every seed proves
+// the bounded-queue interpretation terminates and finds no deadlock.
+// SS_LINT_SEEDS scales the property run (CI uses 500).
 func TestGeneratedTopologiesLintClean(t *testing.T) {
-	for seed := uint64(0); seed < 200; seed++ {
+	seeds := uint64(200)
+	if s := os.Getenv("SS_LINT_SEEDS"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SS_LINT_SEEDS: %v", err)
+		}
+		seeds = n
+	}
+	cfg := lint.Config{BurstFactor: 2, BurstSeconds: 1}
+	for seed := uint64(0); seed < seeds; seed++ {
 		g, err := Generate(Config{Seed: seed})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		rep := lint.Run(g.Topology, lint.Config{})
+		rep := lint.Run(g.Topology, cfg)
 		for _, d := range rep.Diagnostics {
 			if d.Severity == lint.SeverityError {
 				t.Errorf("seed %d: %s", seed, d)
+			}
+		}
+		for _, d := range lint.VerifyPlan(g.Topology, cfg).Diagnostics {
+			if d.Severity == lint.SeverityError {
+				t.Errorf("seed %d: verify: %s", seed, d)
 			}
 		}
 	}

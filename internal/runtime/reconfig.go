@@ -419,8 +419,11 @@ func clonePlan(p *plan.Plan) *plan.Plan {
 	return q
 }
 
-// addStation appends a station to the new epoch's plan and returns its id.
-func addStation(nt *tables, s plan.Station) plan.StationID {
+// addStation appends a station to the new epoch's plan and returns its
+// id. The fence is the capability proving the change's stations are
+// paused — routing-table growth must not race running senders.
+func addStation(f *fence, nt *tables, s plan.Station) plan.StationID {
+	_ = f // capability only: callers must hold the change's fence
 	s.ID = plan.StationID(len(nt.p.Stations))
 	nt.p.Stations = append(nt.p.Stations, s)
 	return s.ID
@@ -481,7 +484,7 @@ func (c *Controller) demoteTransports(f *fence, nt *tables, retiring []plan.Stat
 		if _, err := f.pause(target, true); err != nil {
 			return demoted, rewired, fanIn, err
 		}
-		m, err := newInbox(c.e.cfg, fanIn[i])
+		m, err := demoteInbox(c.e.cfg, fanIn[i])
 		if err != nil {
 			return demoted, rewired, fanIn, err
 		}
@@ -496,8 +499,10 @@ func (c *Controller) demoteTransports(f *fence, nt *tables, retiring []plan.Stat
 // sender rows for the added stations plus every station whose output
 // edges the change rewired. fanIn is the retiring-masked producer count
 // per station (from demoteTransports), which resolves each added inbox's
-// transport under a per-edge policy.
-func (c *Controller) finishTables(nt *tables, added, rewired []plan.StationID, fanIn []int) error {
+// transport under a per-edge policy. The fence is the capability proving
+// every producer the new sender rows touch is paused.
+func (c *Controller) finishTables(f *fence, nt *tables, added, rewired []plan.StationID, fanIn []int) error {
+	_ = f // capability only: callers must hold the change's fence
 	cfg := c.e.cfg
 	infos := make([]obs.StationInfo, len(added))
 	for i, id := range added {
@@ -538,15 +543,19 @@ func (c *Controller) finishTables(nt *tables, added, rewired []plan.StationID, f
 }
 
 // retireStation marks a station retired in the new epoch; its lifetime
-// counters stay in every sum.
-func retireStation(nt *tables, id plan.StationID) {
+// counters stay in every sum. The fence is the capability proving the
+// station is parked and drained before it is marked off the plan.
+func retireStation(f *fence, nt *tables, id plan.StationID) {
+	_ = f // capability only: callers must hold the change's fence
 	nt.retired[id] = true
 	nt.st[id].Retired.Store(true)
 }
 
 // retargetEdges points every edge into old at new instead, returning the
-// ids of the stations whose rows changed.
-func retargetEdges(nt *tables, old, new plan.StationID) []plan.StationID {
+// ids of the stations whose rows changed. The fence is the capability
+// proving the rewired producers are paused while their edges move.
+func retargetEdges(f *fence, nt *tables, old, new plan.StationID) []plan.StationID {
+	_ = f // capability only: callers must hold the change's fence
 	var rewired []plan.StationID
 	for i := range nt.p.Stations {
 		changed := false
@@ -643,7 +652,7 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 	if keyed {
 		disc = plan.KeyHash
 	}
-	emitter := addStation(nt, plan.Station{
+	emitter := addStation(f, nt, plan.Station{
 		Name: wst.Name + "/emitter", Role: plan.RoleEmitter, Op: op,
 		ServiceTime: plan.DefaultEmitterServiceTime, Gain: 1,
 		Discipline: disc,
@@ -652,7 +661,7 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 	})
 	workers := make([]plan.StationID, m)
 	for r := 0; r < m; r++ {
-		workers[r] = addStation(nt, plan.Station{
+		workers[r] = addStation(f, nt, plan.Station{
 			Name: fmt.Sprintf("%s/replica%d", wst.Name, r), Role: plan.RoleWorker, Op: op, Replica: r,
 			ServiceTime: wst.ServiceTime, Gain: wst.Gain,
 			InputSelectivity:  wst.InputSelectivity,
@@ -660,7 +669,7 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 			Discipline:        plan.Probabilistic,
 		})
 	}
-	collector := addStation(nt, plan.Station{
+	collector := addStation(f, nt, plan.Station{
 		Name: wst.Name + "/collector", Role: plan.RoleCollector, Op: op,
 		ServiceTime: plan.DefaultEmitterServiceTime, Gain: 1,
 		InputSelectivity:  wst.InputSelectivity,
@@ -680,7 +689,7 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 	nt.p.EntryOf[op] = emitter
 	nt.p.CollectorOf[op] = collector
 	nt.p.WorkersOf[op] = workers
-	rewired := retargetEdges(nt, w, emitter)
+	rewired := retargetEdges(f, nt, w, emitter)
 	added := append(append([]plan.StationID{emitter}, workers...), collector)
 	demoted, extraRewired, fanIn, err := c.demoteTransports(f, nt, []plan.StationID{w})
 	if err != nil {
@@ -689,7 +698,7 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 	}
 	c.noteDemoted(demoted)
 	rewired = append(rewired, extraRewired...)
-	if err := c.finishTables(nt, added, rewired, fanIn); err != nil {
+	if err := c.finishTables(f, nt, added, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), 0, err
 	}
@@ -701,10 +710,10 @@ func (c *Controller) expand(op core.OpID, m int) (time.Duration, int, error) {
 		for r := range presets {
 			presets[r] = proto.Clone()
 		}
-		moved = migrateKeys(wctl.inst, presets, asg.Replica)
+		moved = migrateKeys(f, wctl.inst, presets, asg.Replica)
 	}
 
-	retireStation(nt, w)
+	retireStation(f, nt, w)
 	e.live.Store(nt)
 	e.spawnStation(emitter, c.seeds.Uint64(), nil, nil)
 	for r, wid := range workers {
@@ -774,7 +783,7 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	nt := cloneTables(tb)
 	newWorkers := append([]plan.StationID(nil), oldWorkers[:keep]...)
 	for r := n; r < m; r++ {
-		wid := addStation(nt, plan.Station{
+		wid := addStation(f, nt, plan.Station{
 			Name: fmt.Sprintf("%s/replica%d", opName, r), Role: plan.RoleWorker, Op: op, Replica: r,
 			ServiceTime: est.ServiceTime, Gain: 1,
 			Discipline: plan.Probabilistic,
@@ -812,7 +821,7 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	}
 	c.noteDemoted(demoted)
 	rewired := append([]plan.StationID{entry}, extraRewired...)
-	if err := c.finishTables(nt, added, rewired, fanIn); err != nil {
+	if err := c.finishTables(f, nt, added, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), 0, err
 	}
@@ -856,7 +865,7 @@ func (c *Controller) rescale(op core.OpID, m int) (time.Duration, int, error) {
 	}
 
 	for _, wid := range oldWorkers[keep:] {
-		retireStation(nt, wid)
+		retireStation(f, nt, wid)
 	}
 	e.live.Store(nt)
 	for r := keep; r < len(newWorkers); r++ {
@@ -933,7 +942,7 @@ func (c *Controller) applyUnfuse(u opt.FusionUndo) (time.Duration, error) {
 	memberIDs := make([]plan.StationID, 0, len(meta.Members))
 	for _, v := range meta.Members {
 		sop := sub.Op(v)
-		sid := addStation(nt, plan.Station{
+		sid := addStation(f, nt, plan.Station{
 			Name: wst.Name + "/" + sop.Name, Role: plan.RoleWorker, Op: id,
 			Member:      int(v) + 1,
 			ServiceTime: sop.ServiceTime, Gain: sop.Gain(),
@@ -969,7 +978,7 @@ func (c *Controller) applyUnfuse(u opt.FusionUndo) (time.Duration, error) {
 	front := stationOf[meta.Front]
 	nt.p.EntryOf[id] = front
 	nt.p.WorkersOf[id] = memberIDs
-	rewired := retargetEdges(nt, w, front)
+	rewired := retargetEdges(f, nt, w, front)
 	demoted, extraRewired, fanIn, err := c.demoteTransports(f, nt, []plan.StationID{w})
 	if err != nil {
 		f.abort()
@@ -977,12 +986,12 @@ func (c *Controller) applyUnfuse(u opt.FusionUndo) (time.Duration, error) {
 	}
 	c.noteDemoted(demoted)
 	rewired = append(rewired, extraRewired...)
-	if err := c.finishTables(nt, memberIDs, rewired, fanIn); err != nil {
+	if err := c.finishTables(f, nt, memberIDs, rewired, fanIn); err != nil {
 		f.abort()
 		return f.stall(), err
 	}
 
-	retireStation(nt, w)
+	retireStation(f, nt, w)
 	c.e.live.Store(nt)
 	for _, v := range meta.Members {
 		c.e.spawnStation(stationOf[v], c.seeds.Uint64(), minst.ops[v], nil)
@@ -997,8 +1006,12 @@ func (c *Controller) applyUnfuse(u opt.FusionUndo) (time.Duration, error) {
 }
 
 // migrateKeys moves every keyed entry of src onto the destination chosen
-// by the key->replica assignment; it reports how many keys moved.
-func migrateKeys(src operators.Operator, dests []operators.Operator, assignment []int) int {
+// by the key->replica assignment; it reports how many keys moved. The
+// fence is the capability proving src's station is paused and drained —
+// exporting keys from a running operator would race its own updates.
+// (Unit tests exercising the bare data movement may pass nil.)
+func migrateKeys(f *fence, src operators.Operator, dests []operators.Operator, assignment []int) int {
+	_ = f // capability only: callers must hold the change's fence
 	ks, ok := src.(operators.KeyedState)
 	if !ok || len(assignment) == 0 {
 		return 0

@@ -318,7 +318,7 @@ func TestMigrateKeys(t *testing.T) {
 	}
 	dests := []operators.Operator{build(), build()}
 	assignment := []int{0, 1, 0, 1}
-	moved := migrateKeys(src, dests, assignment)
+	moved := migrateKeys(nil, src, dests, assignment)
 	if moved != 4 {
 		t.Fatalf("moved %d keys, want 4", moved)
 	}
@@ -333,7 +333,7 @@ func TestMigrateKeys(t *testing.T) {
 		}
 	}
 	// Non-keyed operators migrate nothing.
-	if n := migrateKeys(operators.MustBuild(operators.Spec{Impl: "identity"}), dests, assignment); n != 0 {
+	if n := migrateKeys(nil, operators.MustBuild(operators.Spec{Impl: "identity"}), dests, assignment); n != 0 {
 		t.Errorf("identity migrated %d keys", n)
 	}
 }

@@ -201,3 +201,22 @@ func newInbox(cfg Config, producers int) (*mailbox.Mailbox[operators.Tuple], err
 		Linger:   cfg.Linger,
 	})
 }
+
+// demoteInbox builds the replacement inbox for an edge whose SPSC proof
+// a reconfiguration invalidated. It is the only constructor live
+// reconfiguration may use to swap an existing station's inbox: it
+// resolves the configured transport but never yields a ring, so a
+// demoted edge can never be re-promoted to SPSC whose single-producer
+// precondition no longer holds (the epochfence analyzer pins this).
+func demoteInbox(cfg Config, producers int) (*mailbox.Mailbox[operators.Tuple], error) {
+	mode := resolveInboxMode(cfg.Mailbox, producers)
+	if mode == mailbox.SPSC {
+		mode = mailbox.Batched
+	}
+	return mailbox.New[operators.Tuple](mailbox.Config{
+		Capacity: cfg.MailboxSize,
+		Mode:     mode,
+		Batch:    cfg.Batch,
+		Linger:   cfg.Linger,
+	})
+}

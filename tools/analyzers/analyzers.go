@@ -7,7 +7,15 @@
 //     plain-assigning one silently tears the counter;
 //   - mailboxaccount: the results of mailbox Send/SendMany/Drain carry
 //     the tuple-accounting outcome (Sent/Dropped/Closed, drained counts);
-//     discarding them breaks the dataplane's capacity bookkeeping.
+//     discarding them breaks the dataplane's capacity bookkeeping;
+//   - ringalias: the slice windows SPSC Peek/Reserve hand out alias ring
+//     slots and die at the matching Consume/Publish — retaining or
+//     escaping one reads slots the producer is already overwriting;
+//   - epochfence: every mutation of the runtime's epoch tables (routing
+//     plan, transports, keyed state) must be dominated by a pause-fence
+//     acquire, and a demoted edge may never be re-promoted to a ring;
+//   - conservesum: every Totals conservation counter must be accumulated
+//     somewhere, and Sum/String must cover the identity's legs exactly.
 //
 // The framework below is deliberately tiny — the standard go/analysis
 // machinery lives in golang.org/x/tools, which this repository does not
@@ -43,4 +51,4 @@ type Analyzer struct {
 }
 
 // All lists every pass, in the order ssvet runs them.
-var All = []*Analyzer{AtomicCell, MailboxAccount}
+var All = []*Analyzer{AtomicCell, MailboxAccount, RingAlias, EpochFence, ConserveSum}

@@ -34,6 +34,10 @@ func (s *Sender) SendMany(vs []int) (int, int, bool)   { return 0, 0, false }
 func (s *Sender) Flush()                               {}
 type Mailbox struct{}
 func (m *Mailbox) Drain() int { return 0 }
+func (m *Mailbox) Peek(done chan struct{}) ([]int, bool)    { return nil, false }
+func (m *Mailbox) Consume(n int)                            {}
+func (m *Mailbox) Reserve(n int, done chan struct{}) []int  { return nil }
+func (m *Mailbox) Publish(n int)                            {}
 `
 
 // mapImporter resolves imports from pre-typechecked stub packages.
@@ -62,6 +66,13 @@ func checkStub(t *testing.T, fset *token.FileSet, path, src string) *types.Packa
 // analyze typechecks src against the stubs and runs a over it.
 func analyze(t *testing.T, a *Analyzer, src string) []Diagnostic {
 	t.Helper()
+	return analyzeAt(t, a, "p", src)
+}
+
+// analyzeAt typechecks src under an explicit package path — the
+// epochfence pass keys on the runtime package's import path.
+func analyzeAt(t *testing.T, a *Analyzer, path, src string) []Diagnostic {
+	t.Helper()
 	fset := token.NewFileSet()
 	imp := mapImporter{
 		"sync/atomic":  checkStub(t, fset, "sync/atomic", atomicStub),
@@ -77,7 +88,7 @@ func analyze(t *testing.T, a *Analyzer, src string) []Diagnostic {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	pkg, err := (&types.Config{Importer: imp}).Check("p", fset, []*ast.File{f}, info)
+	pkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
 	if err != nil {
 		t.Fatalf("typecheck: %v", err)
 	}
@@ -167,5 +178,288 @@ func bad(s *mb.Sender, m *mb.Mailbox) {
 `, mailboxPkgPath))
 	if len(ds) != 6 {
 		t.Fatalf("want 6 diagnostics, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestRingAliasAllowsProtocolUse(t *testing.T) {
+	ds := analyze(t, RingAlias, fmt.Sprintf(`package p
+import mb %q
+func okPeek(m *mb.Mailbox, done chan struct{}) int {
+	win, okp := m.Peek(done)
+	if !okp {
+		return 0
+	}
+	n := 0
+	for i := range win {
+		n += win[i]
+	}
+	m.Consume(len(win))
+	return n + len(win)
+}
+func okReserve(m *mb.Mailbox, done chan struct{}) {
+	win := m.Reserve(4, done)
+	for i := range win {
+		win[i] = i
+	}
+	m.Publish(len(win))
+}
+func okRebind(m *mb.Mailbox, done chan struct{}) {
+	for {
+		win, okp := m.Peek(done)
+		if !okp {
+			return
+		}
+		_ = win[0]
+		m.Consume(len(win))
+	}
+}
+func okBranch(m *mb.Mailbox, done chan struct{}, sink bool) int {
+	for {
+		win, _ := m.Peek(done)
+		if sink {
+			m.Consume(len(win))
+			continue
+		}
+		_ = win[0]
+		m.Consume(len(win))
+		return 0
+	}
+}
+func okMixed(m *mb.Mailbox, done chan struct{}) {
+	win, _ := m.Peek(done)
+	m.Publish(3)
+	_ = win[0]
+	m.Consume(len(win))
+}
+`, mailboxPkgPath))
+	if len(ds) != 0 {
+		t.Fatalf("protocol-respecting code flagged: %v", ds)
+	}
+}
+
+func TestRingAliasFlagsUseAfterRelease(t *testing.T) {
+	ds := analyze(t, RingAlias, fmt.Sprintf(`package p
+import mb %q
+func bad(m *mb.Mailbox, done chan struct{}) int {
+	win, _ := m.Peek(done)
+	m.Consume(len(win))
+	return win[0]
+}
+`, mailboxPkgPath))
+	if len(ds) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestRingAliasFlagsEscapes(t *testing.T) {
+	ds := analyze(t, RingAlias, fmt.Sprintf(`package p
+import mb %q
+var g []int
+func escapes(m *mb.Mailbox, done chan struct{}) []int {
+	win, _ := m.Peek(done)
+	g = win
+	ch := make(chan []int, 1)
+	ch <- win[1:]
+	s := struct{ w []int }{w: win}
+	_ = s
+	go func() { _ = win }()
+	return win
+}
+`, mailboxPkgPath))
+	if len(ds) != 5 {
+		t.Fatalf("want 5 escape diagnostics, got %d: %v", len(ds), ds)
+	}
+}
+
+// epochStub declares local stand-ins for the runtime's fence/tables
+// machinery; epochfence keys on type names within the runtime package
+// path, so a snippet typechecked at that path exercises the real logic.
+const epochStub = `
+type fence struct{}
+func (f *fence) pause(id int, drain bool) (int, error) { return 0, nil }
+type planT struct{ Stations []int }
+type cell struct{}
+func (c *cell) Store(t *tables) {}
+type tables struct {
+	epoch     uint64
+	p         *planT
+	mailboxes []int
+	senders   [][]int
+	st        []int
+	stFaults  []int
+	retired   []bool
+}
+type engine struct{ live cell }
+type keyed struct{}
+func (k *keyed) ImportKey(id int, v int) {}
+func newInbox() int    { return 0 }
+func demoteInbox() int { return 0 }
+`
+
+func TestEpochFenceFlagsUnfencedMutations(t *testing.T) {
+	ds := analyzeAt(t, EpochFence, runtimePkgPath, `package runtime
+`+epochStub+`
+func bad(nt *tables, e *engine, k *keyed) {
+	nt.epoch = 1
+	nt.p.Stations = append(nt.p.Stations, 1)
+	nt.retired[0] = true
+	k.ImportKey(1, 2)
+	e.live.Store(nt)
+}
+`)
+	if len(ds) != 5 {
+		t.Fatalf("want 5 diagnostics, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestEpochFenceAllowsFenceParam(t *testing.T) {
+	ds := analyzeAt(t, EpochFence, runtimePkgPath, `package runtime
+`+epochStub+`
+func ok(f *fence, nt *tables, e *engine, k *keyed) {
+	nt.epoch = 1
+	nt.p.Stations = append(nt.p.Stations, 1)
+	k.ImportKey(1, 2)
+	e.live.Store(nt)
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("fence-holding code flagged: %v", ds)
+	}
+}
+
+func TestEpochFenceLexicalPauseOrder(t *testing.T) {
+	ds := analyzeAt(t, EpochFence, runtimePkgPath, `package runtime
+`+epochStub+`
+func mixed(nt *tables, e *engine) {
+	nt.epoch = 1
+	f := &fence{}
+	f.pause(0, true)
+	nt.senders[0] = nil
+	e.live.Store(nt)
+}
+`)
+	// Only the pre-pause mutation is flagged.
+	if len(ds) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestEpochFenceAllowsFreshTables(t *testing.T) {
+	ds := analyzeAt(t, EpochFence, runtimePkgPath, `package runtime
+`+epochStub+`
+func build(e *engine) {
+	nt := &tables{}
+	nt.epoch = 1
+	nt.mailboxes = append(nt.mailboxes, newInbox())
+	nt.mailboxes[0] = newInbox()
+	e.live.Store(nt)
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("fresh-tables construction flagged: %v", ds)
+	}
+}
+
+func TestEpochFenceDemotionNeverRepromotes(t *testing.T) {
+	ds := analyzeAt(t, EpochFence, runtimePkgPath, `package runtime
+`+epochStub+`
+func swap(f *fence, nt *tables) {
+	nt.mailboxes[0] = newInbox()
+	m := demoteInbox()
+	nt.mailboxes[1] = m
+	nt.mailboxes[2] = demoteInbox()
+}
+`)
+	// Fenced, so only the non-demoteInbox replacement is flagged.
+	if len(ds) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestEpochFenceIgnoresOtherPackages(t *testing.T) {
+	ds := analyze(t, EpochFence, `package p
+`+epochStub+`
+func bad(nt *tables) {
+	nt.epoch = 1
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("non-runtime package flagged: %v", ds)
+	}
+}
+
+func TestConserveSumAllowsBalancedTotals(t *testing.T) {
+	ds := analyze(t, ConserveSum, `package p
+type Totals struct {
+	Generated, Delivered, Shed, Failed, Drained, Abandoned uint64
+}
+func acc(t *Totals) {
+	t.Generated++
+	t.Delivered += 2
+	t.Shed = 1
+	t.Failed++
+	t.Drained++
+	t.Abandoned++
+}
+func (t Totals) Sum() uint64 {
+	return t.Delivered + t.Shed + t.Failed + t.Drained + t.Abandoned
+}
+func (t Totals) String() string {
+	_ = t.Generated + t.Delivered + t.Shed + t.Failed + t.Drained + t.Abandoned
+	return ""
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("balanced Totals flagged: %v", ds)
+	}
+}
+
+func TestConserveSumCountsCompositeLiterals(t *testing.T) {
+	ds := analyze(t, ConserveSum, `package p
+type Totals struct {
+	Generated, Delivered, Shed, Failed, Drained, Abandoned uint64
+}
+func mk() Totals {
+	return Totals{Generated: 1, Delivered: 1, Shed: 1, Failed: 1, Drained: 1, Abandoned: 1}
+}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("keyed composite literal not counted as writes: %v", ds)
+	}
+}
+
+func TestConserveSumFlagsGaps(t *testing.T) {
+	ds := analyze(t, ConserveSum, `package p
+type Totals struct {
+	Generated, Delivered, Shed, Failed, Drained, Abandoned uint64
+}
+func acc(t *Totals) {
+	t.Generated++
+	t.Delivered++
+	t.Shed++
+	t.Failed++
+	t.Drained++
+}
+func (t Totals) Sum() uint64 {
+	return t.Generated + t.Delivered + t.Shed + t.Failed + t.Drained
+}
+func (t Totals) String() string {
+	_ = t.Delivered + t.Shed + t.Failed + t.Drained + t.Abandoned
+	return ""
+}
+`)
+	// Abandoned never accumulated; Sum omits Abandoned and folds in
+	// Generated; String omits Generated.
+	if len(ds) != 4 {
+		t.Fatalf("want 4 diagnostics, got %d: %v", len(ds), ds)
+	}
+}
+
+func TestConserveSumIgnoresUnrelatedTotals(t *testing.T) {
+	ds := analyze(t, ConserveSum, `package p
+type Totals struct{ Rows int }
+`)
+	if len(ds) != 0 {
+		t.Fatalf("unrelated Totals type flagged: %v", ds)
 	}
 }

@@ -1,0 +1,196 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConserveSum proves the bookkeeping side of the tuple-conservation
+// identity
+//
+//	Generated == Delivered + Shed + Failed + Drained + Abandoned
+//
+// for every package that declares a Totals counter struct with exactly
+// those legs. The identity is checked dynamically by tests and the
+// experiments harness, but it is only meaningful if the counters are
+// actually maintained: a leg with no accumulation site in its owning
+// package can never record a tuple's fate, and the "conserved" verdict
+// becomes vacuous. Per Totals-declaring package the pass requires:
+//
+//   - every counter field has at least one write site (assignment,
+//     compound assignment, increment, or composite-literal entry) on a
+//     Totals-typed expression in the package;
+//   - a Sum method, if declared, references every outcome leg and does
+//     NOT fold in Generated — Sum is the right-hand side of the identity,
+//     and including the left-hand side makes the check trivially true;
+//   - a String method, if declared, renders every leg, so logged totals
+//     can always be balanced by eye.
+var ConserveSum = &Analyzer{
+	Name: "conservesum",
+	Doc:  "require every Totals conservation counter to be accumulated, summed, and printed consistently",
+	Run:  runConserveSum,
+}
+
+// totalsOutcomes are the right-hand-side legs of the identity.
+var totalsOutcomes = []string{"Delivered", "Shed", "Failed", "Drained", "Abandoned"}
+
+// totalsFields is the full counter set, left-hand side first.
+var totalsFields = append([]string{"Generated"}, totalsOutcomes...)
+
+func runConserveSum(pass *Pass) []Diagnostic {
+	tn, fieldPos := findTotalsDecl(pass)
+	if tn == nil {
+		return nil
+	}
+	info := pass.Info
+
+	isTotals := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj() == tn
+	}
+
+	written := map[string]bool{}
+	markWrite := func(e ast.Expr) {
+		if sel, ok := e.(*ast.SelectorExpr); ok && isTotals(info.Types[sel.X].Type) {
+			written[sel.Sel.Name] = true
+		}
+	}
+	var sum, str *ast.FuncDecl
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv == nil || len(x.Recv.List) != 1 || !isTotals(info.Types[x.Recv.List[0].Type].Type) {
+					return true
+				}
+				switch x.Name.Name {
+				case "Sum":
+					sum = x
+				case "String":
+					str = x
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					markWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				markWrite(x.X)
+			case *ast.CompositeLit:
+				if !isTotals(info.Types[x].Type) {
+					return true
+				}
+				keyed := false
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							written[id.Name] = true
+						}
+					}
+				}
+				if !keyed && len(x.Elts) == len(totalsFields) {
+					for _, f := range totalsFields {
+						written[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var diags []Diagnostic
+	for _, f := range totalsFields {
+		if !written[f] {
+			diags = append(diags, Diagnostic{Pos: fieldPos[f], Message: fmt.Sprintf(
+				"conservation counter Totals.%s is never accumulated in package %s: the identity Generated == Delivered+Shed+Failed+Drained+Abandoned cannot hold for a leg that is never counted", f, pass.Pkg.Name())})
+		}
+	}
+	if sum != nil {
+		refs := fieldRefs(info, isTotals, sum)
+		for _, f := range totalsOutcomes {
+			if !refs[f] {
+				diags = append(diags, Diagnostic{Pos: sum.Pos(), Message: fmt.Sprintf(
+					"Totals.Sum omits outcome counter %s: the conservation check Generated == Sum() would silently ignore tuples accounted there", f)})
+			}
+		}
+		if refs["Generated"] {
+			diags = append(diags, Diagnostic{Pos: sum.Pos(), Message: "Totals.Sum folds in Generated: Sum is the right-hand side of the conservation identity and must total the outcome legs only"})
+		}
+	}
+	if str != nil {
+		refs := fieldRefs(info, isTotals, str)
+		for _, f := range totalsFields {
+			if !refs[f] {
+				diags = append(diags, Diagnostic{Pos: str.Pos(), Message: fmt.Sprintf(
+					"Totals.String omits %s: logged totals must show every leg so the conservation identity can be balanced from output", f)})
+			}
+		}
+	}
+	return diags
+}
+
+// findTotalsDecl locates a struct type named Totals declaring exactly the
+// uint64 conservation counters, returning its type object and each
+// counter field's declaration position.
+func findTotalsDecl(pass *Pass) (*types.TypeName, map[string]token.Pos) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Totals" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				pos := map[string]token.Pos{}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						pos[name.Name] = name.Pos()
+					}
+				}
+				all := true
+				for _, f := range totalsFields {
+					if _, has := pos[f]; !has {
+						all = false
+					}
+				}
+				if !all {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					return tn, pos
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// fieldRefs collects which Totals fields a method body reads.
+func fieldRefs(info *types.Info, isTotals func(types.Type) bool, fn *ast.FuncDecl) map[string]bool {
+	refs := map[string]bool{}
+	if fn.Body == nil {
+		return refs
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && isTotals(info.Types[sel.X].Type) {
+			refs[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return refs
+}

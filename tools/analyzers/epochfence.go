@@ -1,0 +1,309 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochFence enforces the live-reconfiguration protocol of
+// internal/runtime: the epoch tables (routing plan, transport bindings,
+// observability cells, fault streams, retirement marks) and operator
+// keyed state may only change under a pause fence — the runtime's
+// correctness argument is exactly "every mutation is dominated by a
+// fence acquire, and the atomic table swap publishes it" — and a
+// demotion path must never hand a station back a fresh SPSC ring.
+//
+// Per function, a mutation is considered fence-dominated when one holds:
+//
+//   - the function receives a *fence (parameter or receiver) — a static
+//     capability only fence-holding callers can supply;
+//   - a .pause(...) call on a fence lexically precedes the mutation in
+//     the same function body;
+//   - the mutated tables value is function-fresh: built here by a
+//     &tables{...} literal, as in the initial engine construction, so no
+//     running station can observe it yet.
+//
+// Checked mutations: assignments (element or whole-field) reached
+// through a tables-typed expression, ImportKey calls (keyed-state
+// migration), and Store calls publishing a *tables. Additionally,
+// element writes X.mailboxes[i] = v on non-fresh tables must take v
+// from demoteInbox — the constructor that can only produce the MPSC
+// path — so a demoted edge cannot be re-promoted to a ring whose
+// single-producer proof no longer holds.
+var EpochFence = &Analyzer{
+	Name: "epochfence",
+	Doc:  "require pause-fence domination for epoch-table and keyed-state mutations; demotions never re-promote a ring",
+	Run:  runEpochFence,
+}
+
+const runtimePkgPath = "spinstreams/internal/runtime"
+
+// tablesFields are the epoch-table fields the pass guards.
+var tablesFields = map[string]bool{
+	"epoch":     true,
+	"p":         true,
+	"mailboxes": true,
+	"senders":   true,
+	"st":        true,
+	"stFaults":  true,
+	"retired":   true,
+}
+
+func runEpochFence(pass *Pass) []Diagnostic {
+	if !strings.HasPrefix(pass.Pkg.Path(), runtimePkgPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			diags = append(diags, epochFenceFunc(pass, fn)...)
+		}
+	}
+	return diags
+}
+
+// isNamed reports whether t (after pointer indirection) is the named
+// type name declared in a runtime package.
+func isNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != name {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && strings.HasPrefix(pkg.Path(), runtimePkgPath)
+}
+
+func epochFenceFunc(pass *Pass, fn *ast.FuncDecl) []Diagnostic {
+	info := pass.Info
+
+	// A *fence parameter or receiver is the static capability.
+	hasFence := false
+	fields := []*ast.FieldList{fn.Type.Params}
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv)
+	}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if isNamed(info.Types[f.Type].Type, "fence") {
+				hasFence = true
+			}
+		}
+	}
+
+	// Lexically preceding fence.pause(...) calls.
+	var pausePos []token.Pos
+	// Function-fresh tables roots (x := &tables{...}).
+	fresh := map[types.Object]bool{}
+	// Idents bound from demoteInbox calls.
+	demoted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "pause" {
+				if isNamed(info.Types[sel.X].Type, "fence") {
+					pausePos = append(pausePos, x.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			id, ok := x.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if un, ok := x.Rhs[0].(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if cl, ok := un.X.(*ast.CompositeLit); ok && isNamed(info.Types[cl].Type, "tables") {
+					fresh[obj] = true
+				}
+			}
+			if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+				name := ""
+				switch f := call.Fun.(type) {
+				case *ast.Ident:
+					name = f.Name
+				case *ast.SelectorExpr:
+					name = f.Sel.Name
+				}
+				if name == "demoteInbox" {
+					demoted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	fenced := func(pos token.Pos) bool {
+		if hasFence {
+			return true
+		}
+		for _, p := range pausePos {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+	isFresh := func(root *ast.Ident) bool {
+		if root == nil {
+			return false
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			obj = info.Defs[root]
+		}
+		return obj != nil && fresh[obj]
+	}
+
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				field, root, element, ok := tablesFieldWrite(info, lhs)
+				if !ok {
+					continue
+				}
+				freshRoot := isFresh(root)
+				if !freshRoot && !fenced(lhs.Pos()) {
+					diags = append(diags, Diagnostic{Pos: lhs.Pos(), Message: fmt.Sprintf(
+						"epoch-table field %s mutated outside a pause fence: pass the *fence in or pause before mutating", field)})
+				}
+				if field == "mailboxes" && element && !freshRoot {
+					if !fromDemoteInbox(info, x, lhs, demoted) {
+						diags = append(diags, Diagnostic{Pos: lhs.Pos(), Message: "replacing a live station's inbox must go through demoteInbox: a demoted edge may never be re-promoted to an SPSC ring"})
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, root, _, ok := tablesFieldWrite(info, x.X); ok && !isFresh(root) && !fenced(x.Pos()) {
+				diags = append(diags, Diagnostic{Pos: x.Pos(), Message: fmt.Sprintf(
+					"epoch-table field %s mutated outside a pause fence: pass the *fence in or pause before mutating", field)})
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "ImportKey":
+				if !fenced(x.Pos()) {
+					diags = append(diags, Diagnostic{Pos: x.Pos(), Message: "keyed-state migration (ImportKey) outside a pause fence: the owning station must be paused and drained first"})
+				}
+			case "Store":
+				if len(x.Args) != 1 || !isNamed(info.Types[x.Args[0]].Type, "tables") {
+					return true
+				}
+				argFresh := false
+				if id, isIdent := x.Args[0].(*ast.Ident); isIdent {
+					argFresh = isFresh(id)
+				}
+				if !argFresh && !fenced(x.Pos()) {
+					diags = append(diags, Diagnostic{Pos: x.Pos(), Message: "publishing epoch tables outside a pause fence: the swap's ordering guarantees need the fence"})
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// tablesFieldWrite decodes an lvalue that reaches through a tables-typed
+// expression: the guarded field name, the root identifier of the chain
+// (nil when the base is not a plain identifier), and whether the write
+// indexes into the field (element write) rather than replacing it.
+func tablesFieldWrite(info *types.Info, lhs ast.Expr) (field string, root *ast.Ident, element bool, ok bool) {
+	e := lhs
+	indexed := false
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tv, has := info.Types[x.X]; has && isNamed(tv.Type, "tables") && tablesFields[x.Sel.Name] {
+				return x.Sel.Name, baseIdent(x.X), indexed, true
+			}
+			indexed = false
+			e = x.X
+		default:
+			return "", nil, false, false
+		}
+	}
+}
+
+// baseIdent returns the identifier at the base of a selector/index
+// chain, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// fromDemoteInbox reports whether the value assigned into a mailboxes
+// slot is (or was bound from) a demoteInbox result.
+func fromDemoteInbox(info *types.Info, as *ast.AssignStmt, lhs ast.Expr, demoted map[types.Object]bool) bool {
+	var rhs ast.Expr
+	for i, l := range as.Lhs {
+		if l == lhs && i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		}
+	}
+	if rhs == nil && len(as.Rhs) == 1 {
+		rhs = as.Rhs[0]
+	}
+	switch v := rhs.(type) {
+	case *ast.CallExpr:
+		switch f := v.Fun.(type) {
+		case *ast.Ident:
+			return f.Name == "demoteInbox"
+		case *ast.SelectorExpr:
+			return f.Sel.Name == "demoteInbox"
+		}
+	case *ast.Ident:
+		if obj := info.Uses[v]; obj != nil {
+			return demoted[obj]
+		}
+	}
+	return false
+}
